@@ -1,0 +1,87 @@
+// Command tracegen materialises synthetic workloads into UBST trace files
+// and inspects existing traces.
+//
+//	tracegen -list                                # all workload names
+//	tracegen -workload server_001 -n 5000000 -o server_001.ubst.gz
+//	tracegen -inspect server_001.ubst.gz          # summary statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ubscache/internal/trace"
+	"ubscache/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list workload names and exit")
+		wl      = flag.String("workload", "", "workload to materialise")
+		n       = flag.Uint64("n", 1_000_000, "instructions to emit")
+		out     = flag.String("o", "", "output file (.ubst or .ubst.gz)")
+		inspect = flag.String("inspect", "", "trace file to summarise")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, fam := range workload.Families() {
+			fmt.Printf("%s (%d):", fam, workload.FamilyCounts[fam])
+			for _, name := range workload.Names(fam) {
+				fmt.Printf(" %s", name)
+			}
+			fmt.Println()
+		}
+	case *inspect != "":
+		r, err := trace.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		st := trace.Measure(r, ^uint64(0))
+		if err := r.Err(); err != nil {
+			fatal(err)
+		}
+		printStats(*inspect, st)
+	case *wl != "":
+		cfg, err := workload.ByName(*wl)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := workload.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			// Dry run: just measure.
+			st := trace.Measure(w, *n)
+			printStats(*wl, st)
+			return
+		}
+		written, err := trace.WriteAll(*out, trace.NewLimit(w, *n))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d instructions to %s\n", written, *out)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracegen -list | -workload <name> [-n N] [-o file] | -inspect <file>")
+		os.Exit(2)
+	}
+}
+
+func printStats(name string, st trace.Stats) {
+	fmt.Printf("%s: %d instructions\n", name, st.Count)
+	fmt.Printf("  branches: %d (%.1f%%), taken %.1f%%, conditional %d, calls %d, returns %d\n",
+		st.Branches, 100*float64(st.Branches)/float64(st.Count),
+		100*float64(st.Taken)/float64(st.Branches), st.Conditional, st.Calls, st.Returns)
+	fmt.Printf("  loads: %d  stores: %d\n", st.Loads, st.Stores)
+	fmt.Printf("  PC range: [%#x, %#x]  code footprint: %d KB (%d blocks)\n",
+		st.MinPC, st.MaxPC, st.Footprint()>>10, st.UniqueBlocks)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command ubsim runs one workload on one instruction-cache design and
+// prints the detailed result: IPC, MPKI, stall attribution, storage
+// efficiency, and (for UBS) the partial-miss taxonomy.
+//
+//	ubsim -workload server_003 -design ubs
+//	ubsim -workload client_001 -design conv:64 -measure 10000000
+//	ubsim -trace dump.ubst.gz -design ghrp
+//
+// Designs: conv:<KB>, ubs, ubs:<KB>, smallblock16, smallblock32, distill,
+// ghrp, acic, and the predictor/way variants ubs-pred-<name>, ubs-<N>way-c<V>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ubscache/internal/cache"
+	"ubscache/internal/core"
+	"ubscache/internal/icache"
+	"ubscache/internal/sim"
+	"ubscache/internal/stats"
+	"ubscache/internal/trace"
+	"ubscache/internal/ubs"
+	"ubscache/internal/workload"
+)
+
+// parseDesign resolves a design name to a frontend factory.
+func parseDesign(name string) (sim.FrontendFactory, error) {
+	switch {
+	case name == "conv32" || name == "conv:32":
+		return sim.ConvFactory(icache.Baseline32K()), nil
+	case name == "conv64" || name == "conv:64":
+		return sim.ConvFactory(icache.Conv64K()), nil
+	case strings.HasPrefix(name, "conv:"):
+		kb, err := strconv.Atoi(strings.TrimPrefix(name, "conv:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad conv size %q", name)
+		}
+		return sim.ConvFactory(icache.ConvSized(kb << 10)), nil
+	case name == "ubs":
+		return sim.UBSFactory(ubs.DefaultConfig()), nil
+	case strings.HasPrefix(name, "ubs:"):
+		kb, err := strconv.Atoi(strings.TrimPrefix(name, "ubs:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad ubs size %q", name)
+		}
+		return sim.UBSFactory(ubs.Sized(kb)), nil
+	case strings.HasPrefix(name, "ubs-pred-"):
+		cfg, err := ubs.WithPredictor(strings.TrimPrefix(name, "ubs-pred-"))
+		if err != nil {
+			return nil, err
+		}
+		return sim.UBSFactory(cfg), nil
+	case name == "smallblock16":
+		return sim.SmallBlockFactory(icache.SmallBlock16()), nil
+	case name == "smallblock32":
+		return sim.SmallBlockFactory(icache.SmallBlock32()), nil
+	case name == "distill":
+		return sim.DistillFactory(icache.DefaultDistill()), nil
+	case name == "ghrp":
+		cfg := icache.Baseline32K()
+		cfg.Name = "ghrp"
+		cfg.NewPolicy = cache.NewGHRP
+		return sim.ConvFactory(cfg), nil
+	case name == "acic":
+		cfg := icache.Baseline32K()
+		cfg.Name = "acic"
+		cfg.ACIC = true
+		return sim.ConvFactory(cfg), nil
+	}
+	// ubs-<N>way-c<V>
+	var ways, variant int
+	if n, _ := fmt.Sscanf(name, "ubs-%dway-c%d", &ways, &variant); n == 2 {
+		cfg, err := ubs.WithWays(ways, variant)
+		if err != nil {
+			return nil, err
+		}
+		return sim.UBSFactory(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown design %q", name)
+}
+
+func main() {
+	var (
+		wl        = flag.String("workload", "server_001", "workload name (see tracegen -list)")
+		traceFile = flag.String("trace", "", "simulate a UBST trace file instead of a synthetic workload")
+		design    = flag.String("design", "ubs", "instruction cache design")
+		warmup    = flag.Uint64("warmup", 0, "warmup instructions (0 = default)")
+		measure   = flag.Uint64("measure", 0, "measured instructions (0 = default)")
+	)
+	flag.Parse()
+
+	factory, err := parseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	params := sim.DefaultParams()
+	if *warmup > 0 {
+		params.Warmup = *warmup
+	}
+	if *measure > 0 {
+		params.Measure = *measure
+	}
+
+	var res sim.Result
+	if *traceFile != "" {
+		r, err := trace.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer r.Close()
+		res, err = sim.RunSource(params, r, *traceFile, *design, factory)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		wcfg, err := workload.ByName(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err = sim.Run(params, wcfg, *design, factory)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	printResult(res)
+}
+
+func printResult(res sim.Result) {
+	c := res.Core
+	fmt.Printf("workload:  %s\ndesign:    %s\n", res.Workload, res.Design)
+	fmt.Printf("instructions: %d  cycles: %d  IPC: %.4f\n", c.Instructions, c.Cycles, c.IPC())
+	fmt.Printf("L1-I: fetches=%d hits=%d misses=%d MPKI=%.2f\n",
+		res.ICache.Fetches, res.ICache.Hits, res.ICache.Misses, res.MPKI())
+	fmt.Printf("      prefetches=%d dropped=%d MSHR-stall-cycles=%d\n",
+		res.ICache.Prefetches, res.ICache.PrefetchDrops, res.ICache.MSHRStalls)
+	fmt.Printf("fetch stalls (cycles): icache=%d mispredict=%d resteer=%d backpressure=%d ftq=%d\n",
+		c.Stalls[core.StallICache], c.Stalls[core.StallMispredict],
+		c.Stalls[core.StallResteer], c.Stalls[core.StallBackpressure],
+		c.Stalls[core.StallFTQEmpty])
+	fmt.Printf("front-end (icache) stall fraction: %s\n", stats.Pct(c.FrontEndStallFraction()))
+	fmt.Printf("branches: %d  mispredict MPKI: %.2f  decode resteers: %d\n",
+		res.BPU.Branches, res.BPU.MPKI(c.Instructions), res.BPU.DecodeResteers)
+	if len(res.EffSamples) > 0 {
+		sum := stats.Summarise(res.EffSamples)
+		fmt.Printf("storage efficiency: %s\n", sum)
+		fmt.Print(stats.RenderViolin("  efficiency", sum, 50))
+	}
+	if res.UBS != nil {
+		u := res.UBS
+		fmt.Printf("UBS: predictor-hits=%d way-hits=%d placements=%d salvaged=%d discarded=%d\n",
+			u.PredictorHits, u.WayHits, u.Placements, u.SalvagedMoves, u.DiscardedBlocks)
+		bk := res.ICache.ByKind
+		fmt.Printf("     misses by kind: full=%d missing-sub-block=%d overrun=%d underrun=%d (partial %s)\n",
+			bk[icache.FullMiss], bk[icache.MissingSubBlock], bk[icache.Overrun],
+			bk[icache.Underrun], stats.Pct(res.ICache.PartialMissFraction()))
+	}
+}

@@ -1,0 +1,80 @@
+// Command ubsweep regenerates the paper's tables and figures. Each
+// experiment id corresponds to one artifact (see DESIGN.md §4):
+//
+//	ubsweep -exp fig10                # UBS / 64KB speedups over 32KB
+//	ubsweep -exp all -per-family 4    # everything, 4 workloads per family
+//	ubsweep -list                     # available experiments
+//
+// Run lengths default to the scaled-down harness settings; raise -warmup
+// and -measure towards the paper's 50M+50M for full-fidelity runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ubscache/internal/exp"
+	"ubscache/internal/sim"
+)
+
+func main() {
+	var (
+		expID     = flag.String("exp", "", "experiment id (or 'all')")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		perFamily = flag.Int("per-family", 0, "workloads per family (0 = all)")
+		warmup    = flag.Uint64("warmup", 0, "warmup instructions (0 = default)")
+		measure   = flag.Uint64("measure", 0, "measured instructions (0 = default)")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.Registry {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-8s paper: %s\n", "", e.Paper)
+		}
+		if *expID == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nusage: ubsweep -exp <id|all> [-per-family N] [-warmup N] [-measure N]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	params := sim.DefaultParams()
+	if *warmup > 0 {
+		params.Warmup = *warmup
+	}
+	if *measure > 0 {
+		params.Measure = *measure
+	}
+	opts := exp.Options{Params: params, PerFamily: *perFamily}
+	if *verbose {
+		opts.Out = os.Stderr
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = exp.IDs()
+	}
+	runner := exp.NewRunner(opts)
+	for _, id := range ids {
+		e, err := exp.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		out, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		fmt.Printf("--- paper: %s\n", e.Paper)
+		fmt.Println(out)
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+	}
+}

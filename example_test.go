@@ -1,0 +1,65 @@
+package ubscache_test
+
+import (
+	"fmt"
+	"log"
+
+	"ubscache"
+)
+
+// Example demonstrates the basic simulate-and-compare flow on a tiny run.
+func Example() {
+	w, err := ubscache.Workload("spec_001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ubscache.Quick()
+	opts.Warmup = 20_000
+	opts.Measure = 50_000
+
+	rep, err := ubscache.Simulate(ubscache.UBS(), w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Workload, rep.Design, rep.Core.Instructions >= 50_000)
+	// Output:
+	// spec_001 ubs true
+}
+
+// ExampleUBSCustom shows how to explore a non-default UBS configuration.
+func ExampleUBSCustom() {
+	cfg := ubscache.DefaultUBSConfig()
+	cfg.Name = "my-ubs"
+	cfg.WaySizes = []int{8, 16, 32, 64, 64}
+	cfg.PlacementWindow = 2
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cfg.Name, len(cfg.WaySizes), cfg.DataBytesPerSet())
+	// Output:
+	// my-ubs 5 184
+}
+
+// ExampleWorkloadNames lists the preset server workloads.
+func ExampleWorkloadNames() {
+	names := ubscache.WorkloadNames(ubscache.FamilyServer)
+	fmt.Println(names[0], names[1], len(names) >= 8)
+	// Output:
+	// server_001 server_002 true
+}
+
+// ExampleNewSource streams raw instructions from a workload.
+func ExampleNewSource() {
+	w, err := ubscache.Workload("client_001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := ubscache.NewSource(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, ok := src.Next()
+	fmt.Println(ok, in.Size, in.PC != 0)
+	// Output:
+	// true 4 true
+}

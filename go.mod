@@ -1,0 +1,3 @@
+module ubscache
+
+go 1.22

@@ -1,0 +1,260 @@
+package bpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"ubscache/internal/trace"
+	"ubscache/internal/workload"
+)
+
+func condBranch(pc, target uint64, taken bool) trace.Instr {
+	return trace.Instr{PC: pc, Size: 4, Class: trace.ClassCondBranch,
+		Target: target, Taken: taken}
+}
+
+func TestDefaults(t *testing.T) {
+	b := New(Config{})
+	cfg := b.Config()
+	if cfg.BTBEntries != 4096 || cfg.Tables != 8 || cfg.RASEntries != 64 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-branch")
+		}
+	}()
+	in := trace.Instr{PC: 4, Size: 4, Class: trace.ClassOther}
+	New(Config{}).PredictAndTrain(&in)
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	b := New(Config{})
+	in := condBranch(0x1000, 0x2000, true)
+	// Warm up.
+	for i := 0; i < 64; i++ {
+		b.PredictAndTrain(&in)
+	}
+	before := b.Stats().Mispredictions
+	for i := 0; i < 1000; i++ {
+		b.PredictAndTrain(&in)
+	}
+	if got := b.Stats().Mispredictions - before; got != 0 {
+		t.Errorf("always-taken branch mispredicted %d/1000 after warmup", got)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	// A strict alternation is history-predictable; the perceptron must
+	// learn it even though the bias is useless.
+	b := New(Config{})
+	taken := false
+	for i := 0; i < 512; i++ {
+		in := condBranch(0x1000, 0x2000, taken)
+		b.PredictAndTrain(&in)
+		taken = !taken
+	}
+	before := b.Stats().DirectionWrong
+	for i := 0; i < 1000; i++ {
+		in := condBranch(0x1000, 0x2000, taken)
+		b.PredictAndTrain(&in)
+		taken = !taken
+	}
+	wrong := b.Stats().DirectionWrong - before
+	if wrong > 50 {
+		t.Errorf("alternating branch mispredicted %d/1000", wrong)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	b := New(Config{})
+	rng := rand.New(rand.NewSource(1))
+	n, wrongStart := 4000, uint64(0)
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			wrongStart = b.Stats().DirectionWrong
+		}
+		in := condBranch(0x1000, 0x2000, rng.Intn(2) == 0)
+		b.PredictAndTrain(&in)
+	}
+	wrong := b.Stats().DirectionWrong - wrongStart
+	// A random branch cannot be predicted much better than chance; accept
+	// a broad band around 50%.
+	if wrong < 600 || wrong > 1400 {
+		t.Errorf("random branch: %d/2000 wrong, expected near 1000", wrong)
+	}
+}
+
+func TestBTBMissOnDirectIsResteer(t *testing.T) {
+	b := New(Config{})
+	in := trace.Instr{PC: 0x1000, Size: 4, Class: trace.ClassDirectJump,
+		Target: 0x9000, Taken: true}
+	r := b.PredictAndTrain(&in)
+	if !r.Resteer || r.Mispredict {
+		t.Errorf("cold direct jump: Resteer=%v Mispredict=%v, want resteer only",
+			r.Resteer, r.Mispredict)
+	}
+	r = b.PredictAndTrain(&in)
+	if r.Mispredict || r.Resteer {
+		t.Error("second jump redirected despite BTB fill")
+	}
+	if r.PredTarget != 0x9000 {
+		t.Errorf("PredTarget = %#x", r.PredTarget)
+	}
+	if b.Stats().DecodeResteers != 1 {
+		t.Errorf("DecodeResteers = %d", b.Stats().DecodeResteers)
+	}
+}
+
+func TestBTBMissOnIndirectIsMispredict(t *testing.T) {
+	b := New(Config{})
+	in := trace.Instr{PC: 0x1000, Size: 4, Class: trace.ClassIndirectJump,
+		Target: 0x9000, Taken: true}
+	r := b.PredictAndTrain(&in)
+	if !r.Mispredict {
+		t.Error("cold indirect jump not a full mispredict")
+	}
+}
+
+func TestColdCondTakenIsResteer(t *testing.T) {
+	b := New(Config{})
+	in := condBranch(0x1000, 0x2000, true)
+	// Drive the perceptron to predict taken first.
+	for i := 0; i < 32; i++ {
+		b.PredictAndTrain(&in)
+	}
+	// A new, never-seen conditional branch that the perceptron happens to
+	// predict taken must resteer (BTB cold) rather than fully mispredict
+	// when it is indeed taken.
+	fresh := condBranch(0x4000, 0x5000, true)
+	r := b.PredictAndTrain(&fresh)
+	if r.PredTaken && !r.Mispredict && !r.Resteer {
+		t.Error("cold taken conditional neither resteered nor mispredicted")
+	}
+}
+
+func TestIndirectTargetChange(t *testing.T) {
+	b := New(Config{})
+	in := trace.Instr{PC: 0x1000, Size: 4, Class: trace.ClassIndirectJump,
+		Target: 0x9000, Taken: true}
+	b.PredictAndTrain(&in) // cold miss + train
+	in.Target = 0x7000     // target changed
+	r := b.PredictAndTrain(&in)
+	if !r.Mispredict {
+		t.Error("changed indirect target not detected")
+	}
+	st := b.Stats()
+	if st.TargetWrong != 1 {
+		t.Errorf("TargetWrong = %d", st.TargetWrong)
+	}
+}
+
+func TestRASMatchesCallReturn(t *testing.T) {
+	b := New(Config{})
+	call := trace.Instr{PC: 0x1000, Size: 4, Class: trace.ClassCall,
+		Target: 0x5000, Taken: true}
+	ret := trace.Instr{PC: 0x5004, Size: 4, Class: trace.ClassReturn,
+		Target: 0x1004, Taken: true}
+	b.PredictAndTrain(&call) // cold BTB miss, pushes RAS
+	r := b.PredictAndTrain(&ret)
+	if r.Mispredict {
+		t.Error("matched return mispredicted")
+	}
+	if r.PredTarget != 0x1004 {
+		t.Errorf("return PredTarget = %#x, want 0x1004", r.PredTarget)
+	}
+	// Nested calls and returns in LIFO order.
+	for d := 0; d < 8; d++ {
+		c := call
+		c.PC += uint64(d * 64)
+		c.Target += uint64(d * 256)
+		b.PredictAndTrain(&c)
+	}
+	miss := b.Stats().RASMispredicts
+	for d := 7; d >= 0; d-- {
+		rt := trace.Instr{PC: 0x6000 + uint64(d), Size: 4, Class: trace.ClassReturn,
+			Target: 0x1000 + uint64(d*64) + 4, Taken: true}
+		b.PredictAndTrain(&rt)
+	}
+	if got := b.Stats().RASMispredicts - miss; got != 0 {
+		t.Errorf("nested returns mispredicted %d times", got)
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	b := New(Config{})
+	ret := trace.Instr{PC: 0x5004, Size: 4, Class: trace.ClassReturn,
+		Target: 0x1004, Taken: true}
+	r := b.PredictAndTrain(&ret)
+	if !r.Mispredict {
+		t.Error("return with empty RAS not a mispredict")
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	b := New(Config{BTBEntries: 64, BTBWays: 4})
+	// Insert far more branches than capacity.
+	for i := 0; i < 1024; i++ {
+		in := trace.Instr{PC: 0x1000 + uint64(i)*4, Size: 4,
+			Class: trace.ClassDirectJump, Target: 0x9000, Taken: true}
+		b.PredictAndTrain(&in)
+	}
+	// Revisiting the oldest must miss again (capacity eviction).
+	in := trace.Instr{PC: 0x1000, Size: 4, Class: trace.ClassDirectJump,
+		Target: 0x9000, Taken: true}
+	before := b.Stats().BTBMisses
+	b.PredictAndTrain(&in)
+	if b.Stats().BTBMisses == before {
+		t.Error("no BTB capacity eviction observed")
+	}
+}
+
+func TestStatsAndMPKI(t *testing.T) {
+	b := New(Config{})
+	in := condBranch(0x1000, 0x2000, true)
+	b.PredictAndTrain(&in)
+	st := b.Stats()
+	if st.Branches != 1 || st.CondBranches != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if got := (Stats{Mispredictions: 5}).MPKI(1000); got != 5 {
+		t.Errorf("MPKI = %f", got)
+	}
+	if got := (Stats{Mispredictions: 5}).MPKI(0); got != 0 {
+		t.Errorf("MPKI(0) = %f", got)
+	}
+}
+
+func TestWorkloadAccuracy(t *testing.T) {
+	// End-to-end: on a synthetic workload the predictor must reach
+	// realistic accuracy (well above 90% of conditional branches).
+	cfg, err := workload.Preset(workload.FamilyServer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(Config{})
+	const n = 300000
+	for i := 0; i < n; i++ {
+		in, _ := w.Next()
+		if in.Class.IsBranch() {
+			b.PredictAndTrain(&in)
+		}
+	}
+	st := b.Stats()
+	if st.CondBranches == 0 {
+		t.Fatal("no conditional branches seen")
+	}
+	acc := 1 - float64(st.DirectionWrong)/float64(st.CondBranches)
+	if acc < 0.88 {
+		t.Errorf("conditional accuracy %.3f, want >= 0.88", acc)
+	}
+	t.Logf("cond accuracy %.3f, mispredict MPKI %.2f over %d instrs",
+		acc, st.MPKI(n), uint64(n))
+}

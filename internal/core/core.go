@@ -1,0 +1,471 @@
+// Package core implements the out-of-order core timing model of Table I:
+// a 4-wide fetch/decode/commit pipeline with a 224-entry ROB, a 97-entry
+// scheduler window, 128/72-entry load/store queues, a decoupled FDIP front
+// end, and per-cycle front-end stall attribution — the instrumentation
+// behind the paper's Figure 8 (stall cycles covered) and Figure 10 (IPC).
+package core
+
+import (
+	"fmt"
+
+	"ubscache/internal/cache"
+	"ubscache/internal/fdip"
+	"ubscache/internal/icache"
+	"ubscache/internal/mem"
+	"ubscache/internal/trace"
+)
+
+// StallReason attributes a zero-delivery fetch cycle.
+type StallReason uint8
+
+const (
+	// StallNone: instructions were delivered this cycle.
+	StallNone StallReason = iota
+	// StallICache: the head fetch chunk's bytes are absent from the L1-I —
+	// the paper's front-end stall metric.
+	StallICache
+	// StallMispredict: fetch is waiting for a mispredicted branch to
+	// resolve and redirect.
+	StallMispredict
+	// StallResteer: a decode-time resteer bubble (BTB miss, direct target).
+	StallResteer
+	// StallBackpressure: the decode queue or ROB is full.
+	StallBackpressure
+	// StallFTQEmpty: the FTQ ran dry for another reason (trace end).
+	StallFTQEmpty
+)
+
+var stallNames = [...]string{"none", "icache", "mispredict", "resteer", "backpressure", "ftq-empty"}
+
+// String names the reason.
+func (s StallReason) String() string {
+	if int(s) < len(stallNames) {
+		return stallNames[s]
+	}
+	return "stall(?)"
+}
+
+// Config holds the Table I core parameters.
+type Config struct {
+	FetchWidth  int // instructions per cycle
+	FetchBytes  int // fetch bandwidth per cycle
+	DecodeWidth int
+	CommitWidth int
+	ROBSize     int
+	SchedSize   int
+	LQSize      int
+	SQSize      int
+	DecodeQueue int
+	// DecodeLat is the fetch-to-dispatch pipeline depth in cycles.
+	DecodeLat uint64
+	// RedirectLat is the extra redirect penalty after a mispredicted
+	// branch executes.
+	RedirectLat uint64
+	// ResteerLat is the decode-resteer bubble length.
+	ResteerLat uint64
+
+	FTQ fdip.Config
+}
+
+// DefaultConfig mirrors Table I (4-wide, 224 ROB, 97 scheduler, 128/72
+// LQ/SQ, 128-entry FTQ).
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		FetchBytes:  16,
+		DecodeWidth: 4,
+		CommitWidth: 4,
+		ROBSize:     224,
+		SchedSize:   97,
+		LQSize:      128,
+		SQSize:      72,
+		DecodeQueue: 64,
+		DecodeLat:   8,
+		RedirectLat: 2,
+		ResteerLat:  4,
+		FTQ:         fdip.DefaultConfig(),
+	}
+}
+
+// Stats accumulates the run's timing results.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	// Stalls[reason] counts fetch cycles delivering zero instructions.
+	Stalls [6]uint64
+	// Delivered counts instructions handed to decode.
+	Delivered uint64
+	Loads     uint64
+	Stores    uint64
+	Branches  uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// FrontEndStallFraction returns the fraction of cycles fetch was stalled
+// on the instruction cache.
+func (s Stats) FrontEndStallFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Stalls[StallICache]) / float64(s.Cycles)
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	done       uint64
+	seq        uint64
+	isLoad     bool
+	isStore    bool
+	mispredict bool
+}
+
+// decodeItem is an instruction between fetch and dispatch.
+type decodeItem struct {
+	item    fdip.Item
+	readyAt uint64
+}
+
+// Core wires the front end, the backend, and the memory system.
+type Core struct {
+	cfg Config
+	ftq *fdip.FTQ
+	ic  icache.Frontend
+	dc  *mem.DataCache
+
+	// Backend state.
+	rob      []robEntry
+	robHead  int
+	robCount int
+	decode   []decodeItem
+	seq      uint64
+	doneRing [512]uint64 // completion cycles by sequence number
+
+	// Front-end redirect state.
+	waitMispredict bool
+	redirectAt     uint64 // 0 = resolution cycle unknown yet
+	fetchBlocked   uint64 // fetch stalls until this cycle
+	blockReason    StallReason
+
+	// clock is the monotonic cycle counter — the time base for every
+	// completion time in the machine. It is never reset; stats.Cycles
+	// counts only the cycles since the last ResetStats.
+	clock uint64
+
+	stats Stats
+}
+
+// New wires a core. dc may be nil (no data-side modelling).
+func New(cfg Config, ftq *fdip.FTQ, ic icache.Frontend, dc *mem.DataCache) *Core {
+	if cfg.FetchWidth == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Core{
+		cfg: cfg, ftq: ftq, ic: ic, dc: dc,
+		rob: make([]robEntry, cfg.ROBSize),
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats clears timing statistics (end of warmup) without touching
+// microarchitectural state or the monotonic clock.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Clock returns the monotonic cycle count since construction.
+func (c *Core) Clock() uint64 { return c.clock }
+
+// Cycle advances the model by one clock.
+func (c *Core) Cycle() {
+	now := c.clock
+	c.commit(now)
+	c.dispatch(now)
+	c.fetch(now)
+	c.ftq.Fill(now)
+	c.resolveRedirect(now)
+	c.clock++
+	c.stats.Cycles++
+}
+
+// Run executes until n instructions retire (or the trace ends). It
+// returns false if the trace ended first.
+func (c *Core) Run(n uint64) bool {
+	target := c.stats.Instructions + n
+	for c.stats.Instructions < target {
+		if c.ftq.SourceDone() && c.ftq.Len() == 0 && c.robCount == 0 && len(c.decode) == 0 {
+			return false
+		}
+		c.Cycle()
+	}
+	return true
+}
+
+// commit retires completed instructions in order.
+func (c *Core) commit(now uint64) {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if e.done > now {
+			return
+		}
+		c.stats.Instructions++
+		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robCount--
+	}
+}
+
+// schedBusy counts in-flight (dispatched, incomplete) instructions.
+func (c *Core) schedBusy(now uint64) (sched, loads, stores int) {
+	i := c.robHead
+	for n := 0; n < c.robCount; n++ {
+		e := &c.rob[i]
+		if e.done > now {
+			sched++
+			if e.isLoad {
+				loads++
+			}
+			if e.isStore {
+				stores++
+			}
+		}
+		i = (i + 1) % c.cfg.ROBSize
+	}
+	return sched, loads, stores
+}
+
+// dispatch moves instructions from the decode queue into the ROB,
+// computing their completion times.
+func (c *Core) dispatch(now uint64) {
+	if len(c.decode) == 0 {
+		return
+	}
+	sched, loads, stores := c.schedBusy(now)
+	width := c.cfg.DecodeWidth
+	for width > 0 && len(c.decode) > 0 && c.robCount < c.cfg.ROBSize {
+		d := &c.decode[0]
+		if d.readyAt > now || sched >= c.cfg.SchedSize {
+			return
+		}
+		in := &d.item.In
+		if in.Class == trace.ClassLoad && loads >= c.cfg.LQSize {
+			return
+		}
+		if in.Class == trace.ClassStore && stores >= c.cfg.SQSize {
+			return
+		}
+		// Operand readiness from producer distances.
+		ready := now
+		for _, dep := range [2]uint16{in.Dep1, in.Dep2} {
+			if dep == 0 || uint64(dep) > c.seq {
+				continue
+			}
+			if uint64(dep) >= uint64(len(c.doneRing)) {
+				continue
+			}
+			pd := c.doneRing[(c.seq-uint64(dep))%uint64(len(c.doneRing))]
+			if pd > ready {
+				ready = pd
+			}
+		}
+		var done uint64
+		ctx := cache.AccessContext{PC: in.PC, Cycle: now}
+		switch in.Class {
+		case trace.ClassLoad:
+			if c.dc != nil {
+				dl, ok := c.dc.Load(in.MemAddr, ready, ctx)
+				if !ok {
+					return // L1-D MSHRs full: retry next cycle
+				}
+				done = dl
+			} else {
+				done = ready + 5
+			}
+			c.stats.Loads++
+			loads++
+		case trace.ClassStore:
+			if c.dc != nil && !c.dc.Store(in.MemAddr, ready, ctx) {
+				return
+			}
+			done = ready + 1
+			c.stats.Stores++
+			stores++
+		default:
+			done = ready + 1
+			if in.Class.IsBranch() {
+				c.stats.Branches++
+			}
+		}
+		if done <= now {
+			done = now + 1
+		}
+		e := &c.rob[(c.robHead+c.robCount)%c.cfg.ROBSize]
+		*e = robEntry{
+			done:       done,
+			seq:        c.seq,
+			isLoad:     in.Class == trace.ClassLoad,
+			isStore:    in.Class == trace.ClassStore,
+			mispredict: d.item.Mispredict,
+		}
+		c.doneRing[c.seq%uint64(len(c.doneRing))] = done
+		c.seq++
+		c.robCount++
+		sched++
+		if d.item.Mispredict {
+			// The redirect reaches fetch when the branch executes.
+			c.redirectAt = done + c.cfg.RedirectLat
+		}
+		c.decode = c.decode[1:]
+		width--
+	}
+}
+
+// resolveRedirect unblocks the front end once a mispredicted branch has
+// executed.
+func (c *Core) resolveRedirect(now uint64) {
+	if c.waitMispredict && c.redirectAt != 0 && now >= c.redirectAt {
+		c.waitMispredict = false
+		c.redirectAt = 0
+		c.ftq.Resume()
+	}
+}
+
+// fetch builds one fetch chunk from the FTQ head and probes the L1-I.
+// A chunk is a run of consecutive instructions limited by fetch width,
+// fetch bytes, a 64B block boundary, and the first taken branch — exactly
+// the fetch-range interface of §IV-A.
+func (c *Core) fetch(now uint64) {
+	if c.fetchBlocked > now {
+		c.stall(c.blockReason)
+		return
+	}
+	if c.waitMispredict {
+		c.stall(StallMispredict)
+		return
+	}
+	head := c.ftq.Peek(0)
+	if head == nil {
+		if c.ftq.SourceDone() {
+			c.stall(StallFTQEmpty)
+		} else {
+			// The runahead could not keep up this cycle (it fills after
+			// fetch); charge it as an FTQ bubble.
+			c.stall(StallFTQEmpty)
+		}
+		return
+	}
+	if len(c.decode) >= c.cfg.DecodeQueue {
+		c.stall(StallBackpressure)
+		return
+	}
+	// Build the chunk.
+	start := head.In.PC
+	block := start &^ 63
+	bytes := 0
+	count := 0
+	endsMispredict, endsResteer := false, false
+	for count < c.cfg.FetchWidth {
+		it := c.ftq.Peek(count)
+		if it == nil {
+			break
+		}
+		pc := it.In.PC
+		if count > 0 {
+			prev := c.ftq.Peek(count - 1)
+			if pc != prev.In.EndPC() {
+				break // redirect boundary (should coincide with taken branch)
+			}
+		}
+		if pc&^63 != block {
+			break // never cross a 64B block in one access
+		}
+		if count > 0 && bytes+int(it.In.Size) > c.cfg.FetchBytes {
+			// A single instruction wider than the fetch bandwidth (possible
+			// only on variable-length ISAs) still fetches alone.
+			break
+		}
+		bytes += int(it.In.Size)
+		count++
+		if it.Mispredict {
+			endsMispredict = true
+			break
+		}
+		if it.Resteer {
+			endsResteer = true
+			break
+		}
+		if it.In.TakenBranch() {
+			break
+		}
+	}
+	if count == 0 {
+		c.stall(StallFTQEmpty)
+		return
+	}
+	r := c.fetchRange(start, bytes, now)
+	switch {
+	case r.Kind == icache.Hit:
+		for i := 0; i < count; i++ {
+			it := c.ftq.Peek(i)
+			c.decode = append(c.decode, decodeItem{
+				item:    *it,
+				readyAt: now + c.ic.Latency() + c.cfg.DecodeLat,
+			})
+		}
+		c.ftq.Pop(count)
+		c.stats.Delivered += uint64(count)
+		if endsMispredict {
+			c.waitMispredict = true
+		}
+		if endsResteer {
+			c.fetchBlocked = now + c.cfg.ResteerLat
+			c.blockReason = StallResteer
+		}
+	case !r.Issued:
+		// MSHR full: retry next cycle; this is an instruction-supply stall.
+		c.stall(StallICache)
+	default:
+		c.fetchBlocked = r.Complete
+		c.blockReason = StallICache
+		c.stall(StallICache)
+	}
+}
+
+// fetchRange probes the L1-I for [start, start+bytes), splitting at 64B
+// block boundaries (variable-length instructions may straddle blocks; each
+// probe stays within one block per the frontend contract). The combined
+// result hits only if every piece hits; otherwise the first non-hit piece
+// governs the stall.
+func (c *Core) fetchRange(start uint64, bytes int, now uint64) icache.Result {
+	end := start + uint64(bytes)
+	for addr := start; addr < end; {
+		blockEnd := (addr &^ 63) + 64
+		n := int(end - addr)
+		if blockEnd < end {
+			n = int(blockEnd - addr)
+		}
+		r := c.ic.Fetch(addr, n, now)
+		if r.Kind != icache.Hit {
+			return r
+		}
+		addr += uint64(n)
+	}
+	return icache.Result{Kind: icache.Hit}
+}
+
+func (c *Core) stall(r StallReason) {
+	c.stats.Stalls[r]++
+}
+
+// Validate checks internal consistency; tests call it after runs.
+func (c *Core) Validate() error {
+	if c.robCount < 0 || c.robCount > c.cfg.ROBSize {
+		return fmt.Errorf("core: ROB count %d out of range", c.robCount)
+	}
+	return nil
+}

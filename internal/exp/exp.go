@@ -1,0 +1,176 @@
+// Package exp implements the experiment harness: one registered experiment
+// per table and figure of the paper's evaluation (see DESIGN.md §4 for the
+// index). Each experiment renders the same rows/series the paper reports,
+// so `ubsweep -exp <id>` (or the corresponding benchmark in bench_test.go)
+// regenerates the artifact.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"ubscache/internal/icache"
+	"ubscache/internal/sim"
+	"ubscache/internal/ubs"
+	"ubscache/internal/workload"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Params configures the simulated system; zero value takes
+	// sim.DefaultParams with the scaled-down run lengths.
+	Params sim.Params
+	// PerFamily limits the number of workloads per family (0 = all).
+	PerFamily int
+	// Out receives progress lines; nil silences progress.
+	Out io.Writer
+}
+
+func (o Options) params() sim.Params {
+	if o.Params.Measure == 0 {
+		return sim.DefaultParams()
+	}
+	return o.Params
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarises what the paper reports for this artifact, for
+	// side-by-side comparison in EXPERIMENTS.md.
+	Paper string
+	Run   func(r *Runner) (string, error)
+}
+
+// Registry lists all experiments in paper order.
+var Registry []Experiment
+
+func register(e Experiment) { Registry = append(Registry, e) }
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have: %s)",
+		id, strings.Join(ids, ", "))
+}
+
+// Runner memoizes simulation results so experiments sharing design points
+// (e.g. fig8/fig9/fig10 all need conv32/conv64/UBS on the IPC-1 families)
+// run each (workload, design) pair once.
+type Runner struct {
+	Opts Options
+
+	mu    sync.Mutex
+	cache map[string]sim.Result
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{Opts: opts, cache: make(map[string]sim.Result)}
+}
+
+// workloads returns the configs of a family honouring PerFamily.
+func (r *Runner) workloads(f workload.Family) []workload.Config {
+	n := workload.FamilyCounts[f]
+	if r.Opts.PerFamily > 0 && r.Opts.PerFamily < n {
+		n = r.Opts.PerFamily
+	}
+	out := make([]workload.Config, 0, n)
+	for i := 0; i < n; i++ {
+		cfg, err := workload.Preset(f, i)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// run simulates (workload, design), memoized.
+func (r *Runner) run(wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
+	key := wcfg.Name + "|" + design
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	r.Opts.progress("  running %s on %s ...", wcfg.Name, design)
+	res, err := sim.Run(r.Opts.params(), wcfg, design, factory)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Design couples a name with its factory; the standard comparison points.
+type Design struct {
+	Name    string
+	Factory sim.FrontendFactory
+}
+
+// Standard designs used across experiments.
+func designConv32() Design {
+	return Design{"conv-32KB", sim.ConvFactory(icache.Baseline32K())}
+}
+
+func designConv64() Design {
+	return Design{"conv-64KB", sim.ConvFactory(icache.Conv64K())}
+}
+
+func designUBS() Design {
+	return Design{"ubs", sim.UBSFactory(ubs.DefaultConfig())}
+}
+
+// perfFamilies are the families the paper's performance studies use (the
+// IPC-1 categories; Google traces lack dependence information, §V-A).
+var perfFamilies = []workload.Family{
+	workload.FamilyClient, workload.FamilyServer, workload.FamilySPEC,
+}
+
+// allFamilies adds the Google family used by the storage-efficiency
+// analyses.
+var allFamilies = []workload.Family{
+	workload.FamilyGoogle, workload.FamilyClient, workload.FamilyServer,
+	workload.FamilySPEC,
+}
+
+// RunByID executes one experiment and returns its rendered output.
+func RunByID(id string, opts Options) (string, error) {
+	e, err := ByID(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Run(NewRunner(opts))
+}
+
+// IDs returns all experiment ids in registration (paper) order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}

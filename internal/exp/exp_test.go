@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"ubscache/internal/sim"
+)
+
+// tinyOpts keeps experiment tests fast: 2 workloads per family and short
+// runs.
+func tinyOpts() Options {
+	p := sim.DefaultParams()
+	p.Warmup = 50_000
+	p.Measure = 150_000
+	return Options{Params: p, PerFamily: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig4", "table1", "table2", "table3", "table4",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig15", "fig16", "cvp", "x86", "congruence",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for _, e := range Registry {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig10"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4"} {
+		out, err := RunByID(id, tinyOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short:\n%s", id, out)
+		}
+	}
+	// Table III must reproduce the paper's totals.
+	out, _ := RunByID("table3", tinyOpts())
+	for _, want := range []string{"33.875", "36.33", "2.46"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing %q:\n%s", want, out)
+		}
+	}
+	out, _ = RunByID("table4", tinyOpts())
+	for _, want := range []string{"0.09", "0.12", "0.77", "1.71", "0.131", "0.141"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1SmallRun(t *testing.T) {
+	opts := tinyOpts()
+	out, err := RunByID("fig1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "server") || !strings.Contains(out, "CDF") {
+		t.Errorf("fig1 output:\n%s", out)
+	}
+}
+
+func TestFig4SmallRun(t *testing.T) {
+	out, err := RunByID("fig4", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 miss") {
+		t.Errorf("fig4 output:\n%s", out)
+	}
+}
+
+func TestEfficiencyAndPerfExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed simulations")
+	}
+	r := NewRunner(tinyOpts())
+	for _, id := range []string{"fig2", "fig7", "fig8", "fig9", "fig10"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Run(r) // shared runner: results memoized across ids
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) < 50 {
+			t.Errorf("%s output too short:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	d := designConv32()
+	w := r.workloads("spec")[0]
+	res1, err := r.run(w, d.Name, d.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.run(w, d.Name, d.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Core.Cycles != res2.Core.Cycles {
+		t.Error("memoized result differs")
+	}
+	if len(r.cache) != 1 {
+		t.Errorf("cache has %d entries", len(r.cache))
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if coverage(0, 5) != 0 {
+		t.Error("zero-base coverage")
+	}
+	if got := coverage(100, 80); got < 0.1999 || got > 0.2001 {
+		t.Errorf("coverage = %f", got)
+	}
+}

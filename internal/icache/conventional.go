@@ -1,0 +1,283 @@
+package icache
+
+import (
+	"fmt"
+
+	"ubscache/internal/cache"
+	"ubscache/internal/mem"
+)
+
+// ConventionalConfig sizes a fixed-block L1-I. Table I baseline: 32KB,
+// 8-way, 64 sets, 64B blocks, 4-cycle latency, 8 MSHRs, LRU.
+type ConventionalConfig struct {
+	Name      string
+	Sets      int
+	Ways      int
+	BlockSize int
+	Lat       uint64
+	MSHRs     int
+	// NewPolicy selects replacement (nil = LRU; cache.NewGHRP for GHRP).
+	NewPolicy func(sets, ways int) cache.Policy
+	// ACIC enables admission-controlled insertion (Figure 13 baseline).
+	ACIC bool
+	// Unit is the accessed-bytes accounting granularity (default 4).
+	Unit int
+	// OnEvict observes evictions (Figure 1 instrumentation).
+	OnEvict func(set int, b *cache.Block)
+}
+
+// Baseline32K returns the Table I baseline configuration.
+func Baseline32K() ConventionalConfig {
+	return ConventionalConfig{
+		Name: "conv-32KB", Sets: 64, Ways: 8, BlockSize: 64,
+		Lat: 4, MSHRs: 8,
+	}
+}
+
+// Conv64K returns the 64KB comparison configuration (sets doubled,
+// matching ChampSim's convention of scaling sets).
+func Conv64K() ConventionalConfig {
+	c := Baseline32K()
+	c.Name = "conv-64KB"
+	c.Sets = 128
+	return c
+}
+
+// ConvSized returns a conventional configuration of the given total data
+// capacity in bytes (8 ways, 64B blocks).
+func ConvSized(bytes int) ConventionalConfig {
+	c := Baseline32K()
+	c.Name = fmt.Sprintf("conv-%dKB", bytes>>10)
+	c.Sets = bytes / (c.Ways * c.BlockSize)
+	return c
+}
+
+// Conventional is the fixed-block-size instruction cache frontend.
+type Conventional struct {
+	cfg   ConventionalConfig
+	c     *cache.Cache
+	mshr  *mem.MSHR
+	h     *mem.Hierarchy
+	stats Stats
+
+	// ACIC state.
+	acic *acic
+}
+
+var _ Frontend = (*Conventional)(nil)
+
+// NewConventional builds the frontend over hierarchy h.
+func NewConventional(cfg ConventionalConfig, h *mem.Hierarchy) (*Conventional, error) {
+	if cfg.Sets == 0 {
+		cfg = Baseline32K()
+	}
+	if cfg.Lat == 0 {
+		cfg.Lat = 4
+	}
+	if cfg.MSHRs == 0 {
+		cfg.MSHRs = 8
+	}
+	cv := &Conventional{cfg: cfg, mshr: mem.NewMSHR(cfg.MSHRs), h: h}
+	onEvict := cfg.OnEvict
+	if cfg.ACIC {
+		cv.acic = newACIC()
+		// Evicting a never-reused admitted block trains towards bypass.
+		user := onEvict
+		onEvict = func(set int, b *cache.Block) {
+			if !b.Reused {
+				cv.acic.trainBypass(b.Tag << 6)
+			}
+			if user != nil {
+				user(set, b)
+			}
+		}
+	}
+	c, err := cache.New(cache.Config{
+		Name: cfg.Name, Sets: cfg.Sets, Ways: cfg.Ways, BlockSize: cfg.BlockSize,
+		Unit: cfg.Unit, NewPolicy: cfg.NewPolicy, OnEvict: onEvict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cv.c = c
+	return cv, nil
+}
+
+// Name identifies the design.
+func (cv *Conventional) Name() string { return cv.cfg.Name }
+
+// Latency returns the hit latency.
+func (cv *Conventional) Latency() uint64 { return cv.cfg.Lat }
+
+// Cache exposes the underlying array (instrumentation, tests).
+func (cv *Conventional) Cache() *cache.Cache { return cv.c }
+
+// Stats returns the accumulated counters.
+func (cv *Conventional) Stats() Stats { return cv.stats }
+
+// Efficiency reports the storage-efficiency metric.
+func (cv *Conventional) Efficiency() (float64, bool) { return cv.c.Efficiency() }
+
+// Fetch implements Frontend.
+func (cv *Conventional) Fetch(addr uint64, size int, now uint64) Result {
+	cv.stats.Fetches++
+	ctx := cache.AccessContext{PC: addr, Cycle: now}
+	block := cv.c.BlockAddr(addr)
+
+	// A block still in flight is not usable even though the early-fill
+	// model has already installed it.
+	if done, pending := cv.mshr.Lookup(block, now); pending {
+		cv.c.MarkAccessed(addr, size)
+		cv.stats.Misses++
+		cv.stats.ByKind[FullMiss]++
+		return Result{Kind: FullMiss, Complete: done, Issued: true}
+	}
+	if cv.c.Access(addr, size, ctx) {
+		cv.stats.Hits++
+		cv.stats.ByKind[Hit]++
+		return Result{Kind: Hit}
+	}
+	// Check the ACIC bypass buffer before going to L2.
+	if cv.acic != nil {
+		if cv.acic.bypassHit(block) {
+			cv.stats.Hits++
+			cv.stats.ByKind[Hit]++
+			return Result{Kind: Hit}
+		}
+	}
+	// Demand miss.
+	if cv.mshr.Full(now) {
+		cv.stats.MSHRStalls++
+		return Result{Kind: FullMiss, Issued: false}
+	}
+	done, ok := cv.h.FetchBlock(addr, now+cv.cfg.Lat, ctx)
+	if !ok {
+		cv.stats.MSHRStalls++
+		return Result{Kind: FullMiss, Issued: false}
+	}
+	cv.stats.Misses++
+	cv.stats.ByKind[FullMiss]++
+	cv.mshr.Insert(block, done)
+	cv.fill(block, addr, size, ctx)
+	return Result{Kind: FullMiss, Complete: done, Issued: true}
+}
+
+// fill installs a block subject to ACIC admission control.
+func (cv *Conventional) fill(block, addr uint64, size int, ctx cache.AccessContext) {
+	if cv.acic != nil && !cv.acic.admit(block) {
+		cv.acic.insertBypass(block)
+		return
+	}
+	cv.c.Fill(block, ctx)
+	cv.c.MarkAccessed(addr, size)
+}
+
+// Prefetch implements Frontend: prefetches install directly into the L1-I
+// (FDIP-style next-line-of-fetch prefetching into L1).
+func (cv *Conventional) Prefetch(addr uint64, size int, now uint64) {
+	block := cv.c.BlockAddr(addr)
+	if _, _, hit := cv.c.Probe(block); hit {
+		return
+	}
+	if _, pending := cv.mshr.Lookup(block, now); pending {
+		return
+	}
+	if cv.mshr.Full(now) {
+		cv.stats.PrefetchDrops++
+		return
+	}
+	ctx := cache.AccessContext{PC: addr, Cycle: now, Prefetch: true}
+	done, ok := cv.h.FetchBlock(addr, now+cv.cfg.Lat, ctx)
+	if !ok {
+		cv.stats.PrefetchDrops++
+		return
+	}
+	cv.stats.Prefetches++
+	cv.mshr.Insert(block, done)
+	if cv.acic != nil && !cv.acic.admit(block) {
+		cv.acic.insertBypass(block)
+		return
+	}
+	cv.c.Fill(block, ctx)
+}
+
+// acic implements the admission predictor of ACIC (Wang et al., HPCA'23)
+// at the level of detail the simulator models: a table of saturating
+// counters keyed by block address decides whether a missing block is
+// admitted to the L1-I or parked in a small bypass buffer; re-reference of
+// a bypassed block trains towards admission, eviction of a never-reused
+// admitted block trains towards bypass (the latter is observed through the
+// replacement policy's Reused bit at eviction, sampled lazily here via the
+// bypass buffer reuse signal).
+type acic struct {
+	table  []uint8 // 2-bit admission counters
+	bypass []uint64
+	pos    int
+}
+
+const (
+	acicTableBits = 12
+	acicBypassCap = 16
+	acicInitial   = 2 // start weakly admitting
+)
+
+func newACIC() *acic {
+	a := &acic{
+		table:  make([]uint8, 1<<acicTableBits),
+		bypass: make([]uint64, 0, acicBypassCap),
+	}
+	for i := range a.table {
+		a.table[i] = acicInitial
+	}
+	return a
+}
+
+// index hashes the 2KB code region containing the block: admission
+// behaviour generalises across the blocks of a region, so a region whose
+// blocks keep dying unused gets bypassed even for never-seen blocks.
+func (a *acic) index(block uint64) int {
+	h := (block >> 11) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h) & (1<<acicTableBits - 1)
+}
+
+// admit predicts whether the block deserves L1-I residency.
+func (a *acic) admit(block uint64) bool { return a.table[a.index(block)] >= 2 }
+
+// insertBypass parks a non-admitted block in the FIFO bypass buffer.
+func (a *acic) insertBypass(block uint64) {
+	if len(a.bypass) < acicBypassCap {
+		a.bypass = append(a.bypass, block)
+		return
+	}
+	a.bypass[a.pos] = block
+	a.pos = (a.pos + 1) % acicBypassCap
+}
+
+// bypassHit services a fetch from the bypass buffer and trains admission:
+// a bypassed block that sees reuse should have been admitted.
+func (a *acic) bypassHit(block uint64) bool {
+	for i, b := range a.bypass {
+		if b == block {
+			if a.table[a.index(block)] < 3 {
+				a.table[a.index(block)]++
+			}
+			// Remove: it will be admitted on the refetch that follows its
+			// next miss, or stays bypassed — either way the slot frees.
+			a.bypass[i] = a.bypass[len(a.bypass)-1]
+			a.bypass = a.bypass[:len(a.bypass)-1]
+			if a.pos >= len(a.bypass) && a.pos > 0 {
+				a.pos = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// trainBypass is called when an admitted block dies without reuse.
+func (a *acic) trainBypass(block uint64) {
+	if i := a.index(block); a.table[i] > 0 {
+		a.table[i]--
+	}
+}

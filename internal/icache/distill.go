@@ -1,0 +1,280 @@
+package icache
+
+import (
+	"ubscache/internal/cache"
+	"ubscache/internal/mem"
+)
+
+// Distill adapts Line Distillation (Qureshi, Suleman, Patt, HPCA 2007) to
+// the instruction cache, the Figure 13 baseline. The cache is split into a
+// Line-Organised Cache (LOC) holding whole 64B blocks and a Word-Organised
+// Cache (WOC) holding individual 8B words. When the LOC evicts a block
+// that exhibited poor spatial locality, only its accessed words are moved
+// into the WOC; future fetches can hit in either half.
+type Distill struct {
+	cfg   DistillConfig
+	loc   *cache.Cache
+	woc   *woc
+	mshr  *mem.MSHR
+	h     *mem.Hierarchy
+	stats Stats
+
+	// WOCHits counts fetches served from the word-organised half.
+	WOCHits uint64
+}
+
+var _ Frontend = (*Distill)(nil)
+
+// DistillConfig sizes the two halves. The default splits a 32KB budget:
+// 16KB LOC (64 sets × 4 ways × 64B) + 16KB WOC (64 sets × 32 words × 8B).
+type DistillConfig struct {
+	Name     string
+	Sets     int
+	LOCWays  int
+	WOCWords int // 8B word entries per set
+	Lat      uint64
+	MSHRs    int
+	// DistillThreshold: a block is distilled (words moved to WOC) when at
+	// most this fraction of its units was accessed; otherwise it is
+	// dropped whole. The original uses half the line.
+	DistillThreshold float64
+}
+
+// DefaultDistill returns the 32KB-budget configuration.
+func DefaultDistill() DistillConfig {
+	return DistillConfig{
+		Name: "line-distill", Sets: 64, LOCWays: 4, WOCWords: 32,
+		Lat: 4, MSHRs: 8, DistillThreshold: 0.5,
+	}
+}
+
+// wocEntry is one 8B word: tagged by its word-aligned address.
+type wocEntry struct {
+	valid bool
+	addr  uint64 // 8B-aligned
+	lru   uint64
+	used  bool
+}
+
+// woc is the word-organised half: per-set arrays of 8B word entries.
+type woc struct {
+	sets  [][]wocEntry
+	clock uint64
+	nsets int
+}
+
+func newWOC(sets, words int) *woc {
+	w := &woc{nsets: sets, sets: make([][]wocEntry, sets)}
+	entries := make([]wocEntry, sets*words)
+	for s := range w.sets {
+		w.sets[s], entries = entries[:words], entries[words:]
+	}
+	return w
+}
+
+func (w *woc) set(addr uint64) int { return int((addr >> 6) % uint64(w.nsets)) }
+
+// lookup reports whether the 8B word containing addr is resident.
+func (w *woc) lookup(addr uint64, touch bool) bool {
+	word := addr &^ 7
+	s := w.set(addr)
+	for i := range w.sets[s] {
+		if w.sets[s][i].valid && w.sets[s][i].addr == word {
+			if touch {
+				w.clock++
+				w.sets[s][i].lru = w.clock
+				w.sets[s][i].used = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs a word, evicting LRU.
+func (w *woc) insert(addr uint64) {
+	word := addr &^ 7
+	s := w.set(addr)
+	victim, oldest := 0, ^uint64(0)
+	for i := range w.sets[s] {
+		if w.sets[s][i].valid && w.sets[s][i].addr == word {
+			return
+		}
+		if !w.sets[s][i].valid {
+			victim, oldest = i, 0
+			continue
+		}
+		if w.sets[s][i].lru < oldest {
+			victim, oldest = i, w.sets[s][i].lru
+		}
+	}
+	w.clock++
+	w.sets[s][victim] = wocEntry{valid: true, addr: word, lru: w.clock}
+}
+
+// invalidateBlock drops all words of a 64B block.
+func (w *woc) invalidateBlock(block uint64) {
+	s := w.set(block)
+	for i := range w.sets[s] {
+		if w.sets[s][i].valid && w.sets[s][i].addr&^63 == block {
+			w.sets[s][i] = wocEntry{}
+		}
+	}
+}
+
+// efficiency returns used/resident word counts.
+func (w *woc) efficiency() (used, resident int) {
+	for s := range w.sets {
+		for i := range w.sets[s] {
+			if w.sets[s][i].valid {
+				resident++
+				if w.sets[s][i].used {
+					used++
+				}
+			}
+		}
+	}
+	return used, resident
+}
+
+// NewDistill builds the frontend over hierarchy h.
+func NewDistill(cfg DistillConfig, h *mem.Hierarchy) (*Distill, error) {
+	if cfg.Sets == 0 {
+		cfg = DefaultDistill()
+	}
+	d := &Distill{cfg: cfg, woc: newWOC(cfg.Sets, cfg.WOCWords),
+		mshr: mem.NewMSHR(cfg.MSHRs), h: h}
+	loc, err := cache.New(cache.Config{
+		Name: cfg.Name + "-loc", Sets: cfg.Sets, Ways: cfg.LOCWays, BlockSize: 64,
+		OnEvict: func(set int, b *cache.Block) { d.distill(b) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.loc = loc
+	return d, nil
+}
+
+// distill moves a dying block's accessed words to the WOC when its
+// spatial locality was poor.
+func (d *Distill) distill(b *cache.Block) {
+	units := d.loc.UnitsPerBlock()
+	frac := float64(b.AccessedUnits()) / float64(units)
+	if frac == 0 || frac > d.cfg.DistillThreshold {
+		return
+	}
+	block := b.Tag << 6
+	// Move each accessed 8B word (two 4B units per word).
+	for w := 0; w < 8; w++ {
+		mask := uint64(0b11) << (2 * w)
+		if b.Accessed&mask != 0 {
+			d.woc.insert(block + uint64(w*8))
+		}
+	}
+}
+
+// Name identifies the design.
+func (d *Distill) Name() string { return d.cfg.Name }
+
+// Latency returns the hit latency.
+func (d *Distill) Latency() uint64 { return d.cfg.Lat }
+
+// Stats returns the accumulated counters.
+func (d *Distill) Stats() Stats { return d.stats }
+
+// Efficiency combines both halves.
+func (d *Distill) Efficiency() (float64, bool) {
+	var used, total float64
+	d.loc.ForEach(func(_, _ int, b *cache.Block) {
+		used += float64(b.AccessedUnits())
+		total += float64(d.loc.UnitsPerBlock())
+	})
+	wu, wr := d.woc.efficiency()
+	used += float64(wu * 2) // 8B words are two 4B units
+	total += float64(wr * 2)
+	if total == 0 {
+		return 0, false
+	}
+	return used / total, true
+}
+
+// wocCovers reports whether the WOC holds every word of [addr,addr+size).
+func (d *Distill) wocCovers(addr uint64, size int) bool {
+	for a := addr &^ 7; a < addr+uint64(size); a += 8 {
+		if !d.woc.lookup(a, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fetch implements Frontend.
+func (d *Distill) Fetch(addr uint64, size int, now uint64) Result {
+	d.stats.Fetches++
+	ctx := cache.AccessContext{PC: addr, Cycle: now}
+	block := addr &^ 63
+
+	if done, pending := d.mshr.Lookup(block, now); pending {
+		d.loc.MarkAccessed(addr, size)
+		d.stats.Misses++
+		d.stats.ByKind[FullMiss]++
+		return Result{Kind: FullMiss, Complete: done, Issued: true}
+	}
+	if d.loc.Access(addr, size, ctx) {
+		d.stats.Hits++
+		d.stats.ByKind[Hit]++
+		return Result{Kind: Hit}
+	}
+	if d.wocCovers(addr, size) {
+		for a := addr &^ 7; a < addr+uint64(size); a += 8 {
+			d.woc.lookup(a, true)
+		}
+		d.WOCHits++
+		d.stats.Hits++
+		d.stats.ByKind[Hit]++
+		return Result{Kind: Hit}
+	}
+	// Demand miss: fill the LOC with the whole 64B block.
+	if d.mshr.Full(now) {
+		d.stats.MSHRStalls++
+		return Result{Kind: FullMiss, Issued: false}
+	}
+	done, ok := d.h.FetchBlock(block, now+d.cfg.Lat, ctx)
+	if !ok {
+		d.stats.MSHRStalls++
+		return Result{Kind: FullMiss, Issued: false}
+	}
+	d.stats.Misses++
+	d.stats.ByKind[FullMiss]++
+	d.mshr.Insert(block, done)
+	// The WOC's partial copy is superseded by the full line.
+	d.woc.invalidateBlock(block)
+	d.loc.Fill(block, ctx)
+	d.loc.MarkAccessed(addr, size)
+	return Result{Kind: FullMiss, Complete: done, Issued: true}
+}
+
+// Prefetch implements Frontend: prefetches fill the LOC.
+func (d *Distill) Prefetch(addr uint64, size int, now uint64) {
+	block := addr &^ 63
+	if _, _, hit := d.loc.Probe(block); hit {
+		return
+	}
+	if _, pending := d.mshr.Lookup(block, now); pending {
+		return
+	}
+	if d.mshr.Full(now) {
+		d.stats.PrefetchDrops++
+		return
+	}
+	ctx := cache.AccessContext{PC: addr, Cycle: now, Prefetch: true}
+	done, ok := d.h.FetchBlock(block, now+d.cfg.Lat, ctx)
+	if !ok {
+		d.stats.PrefetchDrops++
+		return
+	}
+	d.stats.Prefetches++
+	d.mshr.Insert(block, done)
+	d.woc.invalidateBlock(block)
+	d.loc.Fill(block, ctx)
+}

@@ -1,0 +1,128 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"ubscache/internal/ubs"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConvStorageMatchesTableIII(t *testing.T) {
+	s := ConvStorage("conv-32KB", 64, 8, 64)
+	// Table III: 8×(26b+3b+1b) = 30B metadata, 512B data, 542B/set,
+	// 33.875KB total.
+	if s.MetadataBits != 240 {
+		t.Errorf("metadata bits = %d, want 240", s.MetadataBits)
+	}
+	if s.DataBytes != 512 {
+		t.Errorf("data bytes = %d, want 512", s.DataBytes)
+	}
+	if got := s.PerSetBytes(); got != 542 {
+		t.Errorf("per-set bytes = %v, want 542", got)
+	}
+	if got := s.TotalKB(); !near(got, 33.875, 1e-9) {
+		t.Errorf("total = %vKB, want 33.875", got)
+	}
+}
+
+func TestUBSStorageMatchesTableIII(t *testing.T) {
+	s := UBSStorage(ubs.DefaultConfig())
+	// Table III: 2B bit-vector, 6B start offsets, 65.375B tags/metadata,
+	// 508B data, 581.375B/set, 36.34KB total, 2.46KB overhead.
+	if s.BitVectorBits != 16 {
+		t.Errorf("bit-vector bits = %d, want 16", s.BitVectorBits)
+	}
+	if s.StartOffsetBits != 48 {
+		t.Errorf("start-offset bits = %d, want 48 (6B)", s.StartOffsetBits)
+	}
+	if s.MetadataBits != 16*31+27 {
+		t.Errorf("metadata bits = %d, want %d", s.MetadataBits, 16*31+27)
+	}
+	if s.DataBytes != 508 {
+		t.Errorf("data bytes = %d, want 508", s.DataBytes)
+	}
+	if got := s.PerSetBytes(); !near(got, 581.375, 1e-9) {
+		t.Errorf("per-set bytes = %v, want 581.375", got)
+	}
+	if got := s.TotalKB(); !near(got, 36.3359375, 1e-6) {
+		t.Errorf("total = %vKB, want 36.34", got)
+	}
+	conv := ConvStorage("conv", 64, 8, 64)
+	overheadKB := s.TotalKB() - conv.TotalKB()
+	if !near(overheadKB, 2.46, 0.01) {
+		t.Errorf("overhead = %vKB, want 2.46", overheadKB)
+	}
+}
+
+func TestTableIVCalibration(t *testing.T) {
+	rows := TableIV()
+	if len(rows) != 2 {
+		t.Fatal("TableIV rows")
+	}
+	if !near(rows[0].TagNS, 0.09, 1e-9) || !near(rows[0].DataNS, 0.77, 1e-9) {
+		t.Errorf("8-way row: %+v", rows[0])
+	}
+	if !near(rows[1].TagNS, 0.12, 1e-9) || !near(rows[1].DataNS, 1.71, 1e-9) {
+		t.Errorf("17-way row: %+v", rows[1])
+	}
+	// Monotonic in capacity.
+	if DataLatencyNS(64, 12, 64) <= rows[0].DataNS || DataLatencyNS(64, 12, 64) >= rows[1].DataNS {
+		t.Error("data latency not interpolating")
+	}
+}
+
+func TestUBSLatencyArgument(t *testing.T) {
+	// §VI-I: hit path 0.12-0.018+0.018*1.6 = 0.1308 ≈ 0.13ns; shift amount
+	// +0.01 ≈ 0.14ns; both far below the 0.77ns data array.
+	hit := UBSTagPathNS(64, 17)
+	if !near(hit, 0.1308, 1e-4) {
+		t.Errorf("UBS tag path = %v, want ~0.1308", hit)
+	}
+	shift := UBSShiftAmountNS(64, 17)
+	if !near(shift, 0.1408, 1e-4) {
+		t.Errorf("shift amount = %v, want ~0.1408", shift)
+	}
+	if hit >= DataLatencyNS(64, 8, 64) {
+		t.Error("UBS tag path not below baseline data-array latency")
+	}
+}
+
+func TestConsolidationFitsSevenWays(t *testing.T) {
+	c := Consolidate(ubs.DefaultConfig().WaySizes)
+	if !c.Fits {
+		t.Fatalf("default UBS ways need %d physical ways, want <= 7", len(c.PhysicalWays))
+	}
+	// No physical way exceeds 64B and all sizes are preserved.
+	total := 0
+	for _, bin := range c.PhysicalWays {
+		sum := 0
+		for _, w := range bin {
+			sum += w
+		}
+		if sum > 64 {
+			t.Errorf("physical way %v exceeds 64B", bin)
+		}
+		total += sum
+	}
+	if total != 444 {
+		t.Errorf("consolidated %dB, want 444", total)
+	}
+}
+
+func TestConsolidateSingle(t *testing.T) {
+	c := Consolidate([]int{64})
+	if len(c.PhysicalWays) != 1 || !c.Fits {
+		t.Errorf("single way consolidation: %+v", c)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 8: 3, 16: 4, 17: 5}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

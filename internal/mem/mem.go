@@ -1,0 +1,354 @@
+// Package mem provides the timing side of the memory system: MSHR files,
+// a DRAM bank/row-buffer model, and the L2/L3/DRAM hierarchy walk used by
+// both the instruction and data sides.
+//
+// Timing follows the functional-latency model described in DESIGN.md §5: a
+// miss issued at cycle t completes at t plus the sum of the latencies of
+// the levels it traverses; outstanding misses to the same block merge in
+// the MSHR of the level where they meet. Cache contents are updated at
+// request time (fills applied early), a standard trace-driven
+// simplification.
+package mem
+
+import (
+	"fmt"
+
+	"ubscache/internal/cache"
+)
+
+// MSHR is a miss status holding register file: a bounded set of
+// outstanding block misses with their completion times.
+type MSHR struct {
+	cap     int
+	entries map[uint64]uint64 // block address -> completion cycle
+
+	// Stats.
+	Merges    uint64
+	Allocs    uint64
+	FullStall uint64
+}
+
+// NewMSHR returns an MSHR file with capacity entries.
+func NewMSHR(capacity int) *MSHR {
+	if capacity < 1 {
+		panic(fmt.Sprintf("mem: bad MSHR capacity %d", capacity))
+	}
+	return &MSHR{cap: capacity, entries: make(map[uint64]uint64, capacity)}
+}
+
+// Cap returns the capacity.
+func (m *MSHR) Cap() int { return m.cap }
+
+// InFlight returns the number of live entries at cycle now.
+func (m *MSHR) InFlight(now uint64) int {
+	m.expire(now)
+	return len(m.entries)
+}
+
+// expire drops entries whose miss has completed.
+func (m *MSHR) expire(now uint64) {
+	for a, done := range m.entries {
+		if done <= now {
+			delete(m.entries, a)
+		}
+	}
+}
+
+// Lookup returns the completion time of an outstanding miss for block, if
+// any. A successful lookup is a merge.
+func (m *MSHR) Lookup(block, now uint64) (done uint64, ok bool) {
+	m.expire(now)
+	done, ok = m.entries[block]
+	if ok {
+		m.Merges++
+	}
+	return done, ok
+}
+
+// Full reports whether a new allocation would exceed capacity at cycle now.
+func (m *MSHR) Full(now uint64) bool {
+	m.expire(now)
+	if len(m.entries) >= m.cap {
+		m.FullStall++
+		return true
+	}
+	return false
+}
+
+// Insert allocates an entry; the caller must have checked Full.
+func (m *MSHR) Insert(block, done uint64) {
+	if len(m.entries) >= m.cap {
+		panic("mem: MSHR overflow (caller did not check Full)")
+	}
+	m.entries[block] = done
+	m.Allocs++
+}
+
+// DRAMConfig holds the Table I DRAM parameters converted to core cycles.
+// At the paper's 3200MT/s with tRP=tRCD=tCAS=12.5ns and a 4GHz core, each
+// timing component is 50 core cycles.
+type DRAMConfig struct {
+	Banks      int
+	RowBits    uint   // log2 of the row size in bytes
+	TRP        uint64 // precharge, core cycles
+	TRCD       uint64 // activate
+	TCAS       uint64 // column access
+	Controller uint64 // fixed queue/controller overhead
+	BusCycles  uint64 // data burst occupancy per access
+}
+
+// DefaultDRAMConfig mirrors Table I at a 4GHz core clock.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Banks:      8,
+		RowBits:    13, // 8KB rows
+		TRP:        50,
+		TRCD:       50,
+		TCAS:       50,
+		Controller: 20,
+		BusCycles:  4,
+	}
+}
+
+// DRAM models one rank of banked DRAM with open-row policy.
+type DRAM struct {
+	cfg  DRAMConfig
+	rows []uint64 // open row per bank (+1; 0 = closed)
+	busy []uint64 // cycle at which the bank becomes free
+
+	// Stats.
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// NewDRAM constructs a DRAM model; zero config fields take defaults.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	def := DefaultDRAMConfig()
+	if cfg.Banks == 0 {
+		cfg = def
+	}
+	return &DRAM{
+		cfg:  cfg,
+		rows: make([]uint64, cfg.Banks),
+		busy: make([]uint64, cfg.Banks),
+	}
+}
+
+// Access issues a block read at cycle now and returns its completion time.
+func (d *DRAM) Access(addr, now uint64) uint64 {
+	d.Accesses++
+	bank := int((addr >> 6) % uint64(d.cfg.Banks))
+	row := addr>>d.cfg.RowBits + 1
+	start := now + d.cfg.Controller
+	if b := d.busy[bank]; b > start {
+		start = b
+	}
+	var lat uint64
+	if d.rows[bank] == row {
+		d.RowHits++
+		lat = d.cfg.TCAS
+	} else {
+		d.RowMisses++
+		if d.rows[bank] != 0 {
+			lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		} else {
+			lat = d.cfg.TRCD + d.cfg.TCAS
+		}
+		d.rows[bank] = row
+	}
+	done := start + lat
+	d.busy[bank] = done + d.cfg.BusCycles
+	return done
+}
+
+// Level couples a cache array with its latency and MSHR file.
+type Level struct {
+	Cache *cache.Cache
+	Lat   uint64
+	MSHR  *MSHR
+}
+
+// Hierarchy is the shared L2 → L3 → DRAM path below the private L1s.
+type Hierarchy struct {
+	L2, L3 *Level
+	DRAM   *DRAM
+}
+
+// HierarchyConfig sizes the shared levels (Table I defaults via
+// DefaultHierarchyConfig).
+type HierarchyConfig struct {
+	L2Sets, L2Ways int
+	L2Lat          uint64
+	L2MSHRs        int
+	L3Sets, L3Ways int
+	L3Lat          uint64
+	L3MSHRs        int
+	BlockSize      int
+	DRAM           DRAMConfig
+}
+
+// DefaultHierarchyConfig mirrors Table I: 512KB 8-way L2 (12 cycles,
+// 32 MSHRs) and 2MB 16-way L3 (30 cycles, 64 MSHRs), 64B blocks.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L2Sets: 1024, L2Ways: 8, L2Lat: 12, L2MSHRs: 32,
+		L3Sets: 2048, L3Ways: 16, L3Lat: 30, L3MSHRs: 64,
+		BlockSize: 64,
+		DRAM:      DefaultDRAMConfig(),
+	}
+}
+
+// NewHierarchy builds the shared levels.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.BlockSize == 0 {
+		cfg = DefaultHierarchyConfig()
+	}
+	l2, err := cache.New(cache.Config{
+		Name: "L2", Sets: cfg.L2Sets, Ways: cfg.L2Ways, BlockSize: cfg.BlockSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l3, err := cache.New(cache.Config{
+		Name: "L3", Sets: cfg.L3Sets, Ways: cfg.L3Ways, BlockSize: cfg.BlockSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{
+		L2:   &Level{Cache: l2, Lat: cfg.L2Lat, MSHR: NewMSHR(cfg.L2MSHRs)},
+		L3:   &Level{Cache: l3, Lat: cfg.L3Lat, MSHR: NewMSHR(cfg.L3MSHRs)},
+		DRAM: NewDRAM(cfg.DRAM),
+	}, nil
+}
+
+// MustNewHierarchy panics on configuration errors.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FetchBlock services an L1 miss for the block containing addr at cycle
+// now. It returns the completion cycle at which the block arrives at the
+// L1, or ok=false when an MSHR downstream is full and the request must be
+// retried. Fills of L2/L3 are applied immediately (early-fill model).
+func (h *Hierarchy) FetchBlock(addr, now uint64, ctx cache.AccessContext) (complete uint64, ok bool) {
+	block := h.L2.Cache.BlockAddr(addr)
+	// L2 probe.
+	if h.L2.Cache.Access(block, h.L2.Cache.Config().BlockSize, ctx) {
+		return now + h.L2.Lat, true
+	}
+	if done, merged := h.L2.MSHR.Lookup(block, now); merged {
+		return done, true
+	}
+	if h.L2.MSHR.Full(now) {
+		return 0, false
+	}
+	// L3 probe.
+	var fillDone uint64
+	if h.L3.Cache.Access(block, h.L3.Cache.Config().BlockSize, ctx) {
+		fillDone = now + h.L2.Lat + h.L3.Lat
+	} else if done, merged := h.L3.MSHR.Lookup(block, now); merged {
+		fillDone = done + h.L2.Lat
+	} else if h.L3.MSHR.Full(now) {
+		return 0, false
+	} else {
+		dramDone := h.DRAM.Access(block, now+h.L2.Lat+h.L3.Lat)
+		h.L3.MSHR.Insert(block, dramDone)
+		h.L3.Cache.Fill(block, ctx)
+		fillDone = dramDone + h.L2.Lat // return trip accounted coarsely
+	}
+	h.L2.MSHR.Insert(block, fillDone)
+	h.L2.Cache.Fill(block, ctx)
+	return fillDone, true
+}
+
+// DataCache is the private L1-D frontend: a cache array plus MSHRs in
+// front of the shared hierarchy.
+type DataCache struct {
+	C    *cache.Cache
+	Lat  uint64
+	MSHR *MSHR
+	H    *Hierarchy
+}
+
+// DataCacheConfig sizes the L1-D; Table I: 48KB 12-way, 5 cycles, 16 MSHRs.
+type DataCacheConfig struct {
+	Sets, Ways int
+	Lat        uint64
+	MSHRs      int
+	BlockSize  int
+}
+
+// DefaultDataCacheConfig mirrors Table I.
+func DefaultDataCacheConfig() DataCacheConfig {
+	return DataCacheConfig{Sets: 64, Ways: 12, Lat: 5, MSHRs: 16, BlockSize: 64}
+}
+
+// NewDataCache builds an L1-D over hierarchy h.
+func NewDataCache(cfg DataCacheConfig, h *Hierarchy) (*DataCache, error) {
+	if cfg.Sets == 0 {
+		cfg = DefaultDataCacheConfig()
+	}
+	c, err := cache.New(cache.Config{
+		Name: "L1D", Sets: cfg.Sets, Ways: cfg.Ways, BlockSize: cfg.BlockSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DataCache{C: c, Lat: cfg.Lat, MSHR: NewMSHR(cfg.MSHRs), H: h}, nil
+}
+
+// Load issues a load at cycle now; it returns the data-ready cycle, or
+// ok=false when the access must retry (L1-D or downstream MSHRs full).
+func (d *DataCache) Load(addr, now uint64, ctx cache.AccessContext) (complete uint64, ok bool) {
+	if d.C.Access(addr, 1, ctx) {
+		return now + d.Lat, true
+	}
+	block := d.C.BlockAddr(addr)
+	if done, merged := d.MSHR.Lookup(block, now); merged {
+		return done, true
+	}
+	if d.MSHR.Full(now) {
+		return 0, false
+	}
+	fill, ok := d.H.FetchBlock(addr, now+d.Lat, ctx)
+	if !ok {
+		return 0, false
+	}
+	d.MSHR.Insert(block, fill)
+	d.C.Fill(block, ctx)
+	d.C.MarkAccessed(addr, 1)
+	return fill, true
+}
+
+// Store issues a store at cycle now. Stores retire without stalling the
+// pipeline (the store queue hides their latency); misses write-allocate.
+// ok=false reports MSHR backpressure.
+func (d *DataCache) Store(addr, now uint64, ctx cache.AccessContext) (ok bool) {
+	if d.C.Access(addr, 1, ctx) {
+		d.C.SetDirty(addr)
+		return true
+	}
+	block := d.C.BlockAddr(addr)
+	if _, merged := d.MSHR.Lookup(block, now); merged {
+		d.C.SetDirty(addr) // will be dirty once filled; fine in early-fill model
+		return true
+	}
+	if d.MSHR.Full(now) {
+		return false
+	}
+	fill, ok2 := d.H.FetchBlock(addr, now+d.Lat, ctx)
+	if !ok2 {
+		return false
+	}
+	d.MSHR.Insert(block, fill)
+	d.C.Fill(block, ctx)
+	d.C.MarkAccessed(addr, 1)
+	d.C.SetDirty(addr)
+	return true
+}

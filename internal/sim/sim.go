@@ -1,0 +1,199 @@
+// Package sim composes the full modelled system — workload walker, BPU,
+// FDIP front end, an instruction-cache frontend under test, the L1-D and
+// the shared hierarchy, and the out-of-order core — and runs
+// warmup+measurement simulations (Methodology §V).
+package sim
+
+import (
+	"fmt"
+
+	"ubscache/internal/bpu"
+	"ubscache/internal/core"
+	"ubscache/internal/fdip"
+	"ubscache/internal/icache"
+	"ubscache/internal/mem"
+	"ubscache/internal/trace"
+	"ubscache/internal/ubs"
+	"ubscache/internal/workload"
+)
+
+// Params bundles the system configuration. Zero-valued sections take the
+// Table I defaults.
+type Params struct {
+	Core      core.Config
+	Hierarchy mem.HierarchyConfig
+	L1D       mem.DataCacheConfig
+	BPU       bpu.Config
+	// DataCache enables L1-D/backend memory modelling.
+	DataCache bool
+	// Warmup and Measure are instruction counts (§V: 50M+50M; scaled-down
+	// defaults are applied by DefaultParams).
+	Warmup  uint64
+	Measure uint64
+	// SampleInterval is the storage-efficiency sampling period in cycles
+	// (§III: 100K cycles). 0 disables sampling.
+	SampleInterval uint64
+}
+
+// DefaultParams returns Table I with the scaled-down run lengths used by
+// the sweep harness (see DESIGN.md §3).
+func DefaultParams() Params {
+	return Params{
+		Core:           core.DefaultConfig(),
+		Hierarchy:      mem.DefaultHierarchyConfig(),
+		L1D:            mem.DefaultDataCacheConfig(),
+		DataCache:      true,
+		Warmup:         1_000_000,
+		Measure:        4_000_000,
+		SampleInterval: 100_000,
+	}
+}
+
+// FrontendFactory builds the instruction-cache design under test.
+type FrontendFactory func(h *mem.Hierarchy) (icache.Frontend, error)
+
+// ConvFactory builds a conventional L1-I.
+func ConvFactory(cfg icache.ConventionalConfig) FrontendFactory {
+	return func(h *mem.Hierarchy) (icache.Frontend, error) {
+		return icache.NewConventional(cfg, h)
+	}
+}
+
+// UBSFactory builds a UBS cache.
+func UBSFactory(cfg ubs.Config) FrontendFactory {
+	return func(h *mem.Hierarchy) (icache.Frontend, error) {
+		return ubs.New(cfg, h)
+	}
+}
+
+// SmallBlockFactory builds a small-block L1-I.
+func SmallBlockFactory(cfg icache.SmallBlockConfig) FrontendFactory {
+	return func(h *mem.Hierarchy) (icache.Frontend, error) {
+		return icache.NewSmallBlock(cfg, h)
+	}
+}
+
+// DistillFactory builds a Line Distillation L1-I.
+func DistillFactory(cfg icache.DistillConfig) FrontendFactory {
+	return func(h *mem.Hierarchy) (icache.Frontend, error) {
+		return icache.NewDistill(cfg, h)
+	}
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	Workload string
+	Design   string
+	Core     core.Stats
+	ICache   icache.Stats
+	BPU      bpu.Stats
+	// EffSamples are the periodic storage-efficiency samples (Figures 2/7).
+	EffSamples []float64
+	// UBS carries the extended counters when the design is a UBS cache.
+	UBS *ubs.Stats
+}
+
+// IPC returns the measured IPC.
+func (r Result) IPC() float64 { return r.Core.IPC() }
+
+// MPKI returns the L1-I demand MPKI.
+func (r Result) MPKI() float64 { return r.ICache.MPKI(r.Core.Instructions) }
+
+// StallCycles returns the icache-attributed front-end stall cycles.
+func (r Result) StallCycles() uint64 { return r.Core.Stalls[core.StallICache] }
+
+// Run simulates workload wcfg on the design built by factory.
+func Run(p Params, wcfg workload.Config, design string, factory FrontendFactory) (Result, error) {
+	if p.Core.FetchWidth == 0 {
+		p.Core = core.DefaultConfig()
+	}
+	if p.Hierarchy.BlockSize == 0 {
+		p.Hierarchy = mem.DefaultHierarchyConfig()
+	}
+	w, err := workload.New(wcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunSource(p, w, wcfg.Name, design, factory)
+}
+
+// RunSource simulates an arbitrary trace source.
+func RunSource(p Params, src trace.Source, workloadName, design string, factory FrontendFactory) (Result, error) {
+	h, err := mem.NewHierarchy(p.Hierarchy)
+	if err != nil {
+		return Result{}, err
+	}
+	ic, err := factory(h)
+	if err != nil {
+		return Result{}, err
+	}
+	var dc *mem.DataCache
+	if p.DataCache {
+		dc, err = mem.NewDataCache(p.L1D, h)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	bp := bpu.New(p.BPU)
+	ftq := fdip.New(p.Core.FTQ, src, bp, ic)
+	c := core.New(p.Core, ftq, ic, dc)
+
+	// Warmup.
+	if p.Warmup > 0 && !c.Run(p.Warmup) {
+		return Result{}, fmt.Errorf("sim: trace ended during warmup of %s", workloadName)
+	}
+	icWarm := ic.Stats()
+	bpWarm := bp.Stats()
+	c.ResetStats()
+
+	res := Result{Workload: workloadName, Design: design}
+	// Measurement loop with periodic storage-efficiency sampling.
+	target := p.Measure
+	nextSample := p.SampleInterval
+	for c.Stats().Instructions < target {
+		c.Cycle()
+		if p.SampleInterval > 0 && c.Stats().Cycles >= nextSample {
+			if eff, ok := ic.Efficiency(); ok {
+				res.EffSamples = append(res.EffSamples, eff)
+			}
+			nextSample += p.SampleInterval
+		}
+		if ftq.SourceDone() && ftq.Len() == 0 {
+			return Result{}, fmt.Errorf("sim: trace ended during measurement of %s", workloadName)
+		}
+	}
+	res.Core = c.Stats()
+	res.ICache = diffICache(ic.Stats(), icWarm)
+	res.BPU = diffBPU(bp.Stats(), bpWarm)
+	if u, ok := ic.(*ubs.Cache); ok {
+		st := u.UBSStats()
+		res.UBS = &st
+	}
+	return res, nil
+}
+
+// diffICache subtracts warmup counters.
+func diffICache(after, before icache.Stats) icache.Stats {
+	after.Fetches -= before.Fetches
+	after.Hits -= before.Hits
+	after.Misses -= before.Misses
+	for i := range after.ByKind {
+		after.ByKind[i] -= before.ByKind[i]
+	}
+	after.MSHRStalls -= before.MSHRStalls
+	after.Prefetches -= before.Prefetches
+	after.PrefetchDrops -= before.PrefetchDrops
+	return after
+}
+
+func diffBPU(after, before bpu.Stats) bpu.Stats {
+	after.Branches -= before.Branches
+	after.CondBranches -= before.CondBranches
+	after.DirectionWrong -= before.DirectionWrong
+	after.TargetWrong -= before.TargetWrong
+	after.BTBMisses -= before.BTBMisses
+	after.Mispredictions -= before.Mispredictions
+	after.DecodeResteers -= before.DecodeResteers
+	after.RASMispredicts -= before.RASMispredicts
+	return after
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ubscache/internal/icache"
+	"ubscache/internal/trace"
+	"ubscache/internal/ubs"
+	"ubscache/internal/workload"
+)
+
+func tinyParams() Params {
+	p := DefaultParams()
+	p.Warmup = 30_000
+	p.Measure = 100_000
+	return p
+}
+
+func specCfg(t *testing.T) workload.Config {
+	t.Helper()
+	cfg, err := workload.Preset(workload.FamilySPEC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.Warmup == 0 || p.Measure == 0 || p.SampleInterval != 100_000 {
+		t.Errorf("defaults: %+v", p)
+	}
+	if !p.DataCache {
+		t.Error("data cache disabled by default")
+	}
+}
+
+func TestRunConventional(t *testing.T) {
+	res, err := Run(tinyParams(), specCfg(t), "conv", ConvFactory(icache.Baseline32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design != "conv" || res.Workload != "spec_001" {
+		t.Errorf("labels: %+v", res)
+	}
+	if res.Core.Instructions < 100_000 {
+		t.Errorf("retired %d", res.Core.Instructions)
+	}
+	if res.IPC() <= 0 || res.IPC() > 4 {
+		t.Errorf("IPC %f", res.IPC())
+	}
+	if res.UBS != nil {
+		t.Error("conventional run carries UBS stats")
+	}
+	if res.BPU.Branches == 0 {
+		t.Error("no branch statistics")
+	}
+}
+
+func TestRunUBSCarriesExtendedStats(t *testing.T) {
+	res, err := Run(tinyParams(), specCfg(t), "ubs", UBSFactory(ubs.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UBS == nil {
+		t.Fatal("UBS stats missing")
+	}
+	if res.UBS.PredictorHits+res.UBS.WayHits == 0 {
+		t.Error("no UBS hits recorded")
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	// Measured icache stats must exclude warmup: a run with warmup must
+	// report fewer fetches than warmup+measure would produce.
+	p := tinyParams()
+	resWarm, err := Run(p, specCfg(t), "conv", ConvFactory(icache.Baseline32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.Warmup = 0
+	p2.Measure = p.Warmup + p.Measure
+	resAll, err := Run(p2, specCfg(t), "conv", ConvFactory(icache.Baseline32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resWarm.ICache.Fetches >= resAll.ICache.Fetches {
+		t.Errorf("warmup not excluded: %d vs %d fetches",
+			resWarm.ICache.Fetches, resAll.ICache.Fetches)
+	}
+	// Warmed run must not have cold-start misses dominating.
+	if resWarm.MPKI() > resAll.MPKI() {
+		t.Errorf("warmed MPKI %.2f above cold MPKI %.2f", resWarm.MPKI(), resAll.MPKI())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(tinyParams(), specCfg(t), "ubs", UBSFactory(ubs.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tinyParams(), specCfg(t), "ubs", UBSFactory(ubs.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Core.Cycles != b.Core.Cycles || a.ICache.Misses != b.ICache.Misses ||
+		a.BPU.Mispredictions != b.BPU.Mispredictions {
+		t.Errorf("runs differ: %+v vs %+v", a.Core, b.Core)
+	}
+}
+
+func TestEfficiencySampling(t *testing.T) {
+	p := tinyParams()
+	p.SampleInterval = 10_000
+	res, err := Run(p, specCfg(t), "conv", ConvFactory(icache.Baseline32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EffSamples) < 5 {
+		t.Fatalf("only %d efficiency samples", len(res.EffSamples))
+	}
+	for _, e := range res.EffSamples {
+		if e < 0 || e > 1 {
+			t.Fatalf("sample %f out of range", e)
+		}
+	}
+	// Disabled sampling yields none.
+	p.SampleInterval = 0
+	res, err = Run(p, specCfg(t), "conv", ConvFactory(icache.Baseline32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EffSamples) != 0 {
+		t.Error("samples collected with sampling disabled")
+	}
+}
+
+func TestTraceEndsDuringWarmup(t *testing.T) {
+	short := trace.NewSlice(trace.Collect(mustWalker(t), 1000))
+	_, err := RunSource(tinyParams(), short, "short", "conv",
+		ConvFactory(icache.Baseline32K()))
+	if err == nil || !strings.Contains(err.Error(), "warmup") {
+		t.Errorf("expected warmup error, got %v", err)
+	}
+}
+
+func TestTraceEndsDuringMeasurement(t *testing.T) {
+	short := trace.NewSlice(trace.Collect(mustWalker(t), 50_000))
+	p := tinyParams()
+	p.Warmup = 10_000
+	p.Measure = 1_000_000
+	_, err := RunSource(p, short, "short", "conv", ConvFactory(icache.Baseline32K()))
+	if err == nil || !strings.Contains(err.Error(), "measurement") {
+		t.Errorf("expected measurement error, got %v", err)
+	}
+}
+
+func mustWalker(t *testing.T) trace.Source {
+	t.Helper()
+	w, err := workload.New(specCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAllFactoriesBuild(t *testing.T) {
+	factories := map[string]FrontendFactory{
+		"conv":       ConvFactory(icache.Baseline32K()),
+		"ubs":        UBSFactory(ubs.DefaultConfig()),
+		"smallblock": SmallBlockFactory(icache.SmallBlock16()),
+		"distill":    DistillFactory(icache.DefaultDistill()),
+	}
+	p := tinyParams()
+	p.Warmup = 5_000
+	p.Measure = 20_000
+	for name, f := range factories {
+		if _, err := Run(p, specCfg(t), name, f); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBadFactoryConfigRejected(t *testing.T) {
+	bad := UBSFactory(ubs.Config{}) // zero config is invalid
+	if _, err := Run(tinyParams(), specCfg(t), "bad", bad); err == nil {
+		t.Error("invalid UBS config accepted")
+	}
+	badSB := SmallBlockFactory(icache.SmallBlockConfig{BlockSize: 24})
+	if _, err := Run(tinyParams(), specCfg(t), "bad", badSB); err == nil {
+		t.Error("invalid small-block config accepted")
+	}
+}
+
+func TestNoDataCacheMode(t *testing.T) {
+	p := tinyParams()
+	p.DataCache = false
+	res, err := Run(p, specCfg(t), "conv", ConvFactory(icache.Baseline32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 {
+		t.Errorf("IPC %f without data cache", res.IPC())
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res, err := Run(tinyParams(), specCfg(t), "conv", ConvFactory(icache.Baseline32K()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MPKI() < 0 {
+		t.Error("negative MPKI")
+	}
+	if res.StallCycles() > res.Core.Cycles {
+		t.Error("stall cycles exceed total cycles")
+	}
+}

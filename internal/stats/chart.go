@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderCDF draws a cumulative-distribution curve as fixed-width ASCII art
+// — the textual rendering of the paper's Figure 1 lines. xs are the bin
+// upper bounds (e.g. bytes), ys the cumulative fractions in [0,1].
+func RenderCDF(title string, xs []int, ys []float64, width, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) || width < 8 || height < 2 {
+		return title + ": (no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		col := i * (width - 1) / max(1, len(xs)-1)
+		y := ys[i]
+		if y < 0 {
+			y = 0
+		}
+		if y > 1 {
+			y = 1
+		}
+		row := int((1 - y) * float64(height-1))
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = "100%% |"
+		case height - 1:
+			label = "  0%% |"
+		default:
+			label = "     |"
+		}
+		fmt.Fprintf(&b, label+"%s\n", string(line))
+	}
+	b.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "       %-*d%d\n", width-len(fmt.Sprint(xs[len(xs)-1])), xs[0], xs[len(xs)-1])
+	return b.String()
+}
+
+// RenderViolin draws a Summary as a labelled box/whisker line over [0,1] —
+// the textual rendering of the paper's Figure 2/7 violins.
+//
+//	min ├────[ p25 ═══ median ═══ p75 ]────┤ max
+func RenderViolin(name string, s Summary, width int) string {
+	if s.N == 0 || width < 16 {
+		return fmt.Sprintf("%-12s (no samples)\n", name)
+	}
+	pos := func(v float64) int {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		p := int(v * float64(width-1))
+		return p
+	}
+	line := []byte(strings.Repeat(" ", width))
+	for i := pos(s.Min); i <= pos(s.Max); i++ {
+		line[i] = '-'
+	}
+	for i := pos(s.P25); i <= pos(s.P75); i++ {
+		line[i] = '='
+	}
+	line[pos(s.Min)] = '|'
+	line[pos(s.Max)] = '|'
+	line[pos(s.Median)] = '#'
+	return fmt.Sprintf("%-12s %s  mean %s\n", name, string(line), Pct(s.Mean))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

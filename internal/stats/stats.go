@@ -1,0 +1,221 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: cumulative distributions (Figure 1), violin five-number
+// summaries (Figures 2 and 7), geometric means (Figures 10-13, 15, 16),
+// and fixed-width table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of positive values; zero or negative
+// values contribute as 1e-9 floor to keep the result defined.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v < 1e-9 {
+			v = 1e-9
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Summary is a five-number distribution summary — the textual stand-in for
+// the paper's violin plots.
+type Summary struct {
+	Min, P25, Median, P75, Max float64
+	Mean                       float64
+	N                          int
+}
+
+// Summarise computes a Summary of vals.
+func Summarise(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return Summary{
+		Min:    s[0],
+		P25:    Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		P75:    Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+		N:      len(s),
+	}
+}
+
+// Quantile returns the q-quantile of sorted values (linear interpolation).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("min=%.1f%% p25=%.1f%% med=%.1f%% p75=%.1f%% max=%.1f%% mean=%.1f%%",
+		100*s.Min, 100*s.P25, 100*s.Median, 100*s.P75, 100*s.Max, 100*s.Mean)
+}
+
+// Histogram is a fixed-bin counting histogram over integer keys
+// (e.g. accessed units 0..16 of a 64B block).
+type Histogram struct {
+	Counts []uint64
+	Total  uint64
+}
+
+// NewHistogram makes a histogram with bins 0..max.
+func NewHistogram(max int) *Histogram {
+	return &Histogram{Counts: make([]uint64, max+1)}
+}
+
+// Add counts one observation of key (clamped to range).
+func (h *Histogram) Add(key int) {
+	if key < 0 {
+		key = 0
+	}
+	if key >= len(h.Counts) {
+		key = len(h.Counts) - 1
+	}
+	h.Counts[key]++
+	h.Total++
+}
+
+// CDF returns the cumulative fraction at each key: CDF()[k] is the
+// fraction of observations with value <= k — the Figure 1 curves.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	var run uint64
+	for i, c := range h.Counts {
+		run += c
+		out[i] = float64(run) / float64(h.Total)
+	}
+	return out
+}
+
+// FractionAtMost returns the fraction of observations with value <= k.
+func (h *Histogram) FractionAtMost(k int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var run uint64
+	for i := 0; i <= k && i < len(h.Counts); i++ {
+		run += h.Counts[i]
+	}
+	return float64(run) / float64(h.Total)
+}
+
+// Merge accumulates other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(other.Counts) != len(h.Counts) {
+		panic("stats: merging histograms of different widths")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.Total += other.Total
+}
+
+// Table renders fixed-width textual tables — the harness's output format
+// for every reproduced table and figure.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v unless already strings.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Speedup formats a performance ratio as a percentage gain.
+func Speedup(v float64) string { return fmt.Sprintf("%+.2f%%", 100*(v-1)) }

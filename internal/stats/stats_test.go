@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("Geomean(1,4) = %f", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %f", g)
+	}
+	if g := Geomean([]float64{0, 4}); g <= 0 {
+		t.Errorf("Geomean with zero = %f, want positive (floored)", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %f", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(s, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%.2f) = %f, want %f", q, got, want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+	// Interpolation.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %f", got)
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := Summarise([]float64{0.2, 0.4, 0.6, 0.8})
+	if s.Min != 0.2 || s.Max != 0.8 || s.N != 4 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.Mean-0.5) > 1e-12 {
+		t.Errorf("mean %f", s.Mean)
+	}
+	if !strings.Contains(s.String(), "med=") {
+		t.Error("String() missing median")
+	}
+	if Summarise(nil).N != 0 {
+		t.Error("empty summary N != 0")
+	}
+}
+
+func TestSummariseProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarise(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 && s.P75 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(16)
+	for i := 0; i < 4; i++ {
+		h.Add(4)
+	}
+	for i := 0; i < 4; i++ {
+		h.Add(16)
+	}
+	cdf := h.CDF()
+	if cdf[3] != 0 || cdf[4] != 0.5 || cdf[15] != 0.5 || cdf[16] != 1 {
+		t.Errorf("cdf = %v", cdf)
+	}
+	if h.FractionAtMost(8) != 0.5 {
+		t.Errorf("FractionAtMost(8) = %f", h.FractionAtMost(8))
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[16] != 5 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(4), NewHistogram(4)
+	a.Add(1)
+	b.Add(2)
+	b.Add(2)
+	a.Merge(b)
+	if a.Total != 3 || a.Counts[2] != 2 {
+		t.Errorf("merged %+v", a)
+	}
+}
+
+func TestHistogramMergePanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on width mismatch")
+		}
+	}()
+	NewHistogram(4).Merge(NewHistogram(8))
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	cdf := h.CDF()
+	for _, v := range cdf {
+		if v != 0 {
+			t.Error("empty CDF nonzero")
+		}
+	}
+	if h.FractionAtMost(2) != 0 {
+		t.Error("empty FractionAtMost nonzero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[2], "1.500") {
+		t.Errorf("table:\n%s", out)
+	}
+	// Columns align.
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator width mismatch")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.256) != "25.6%" {
+		t.Errorf("Pct = %s", Pct(0.256))
+	}
+	if Speedup(1.056) != "+5.60%" {
+		t.Errorf("Speedup = %s", Speedup(1.056))
+	}
+	if Speedup(0.98) != "-2.00%" {
+		t.Errorf("Speedup = %s", Speedup(0.98))
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	xs := []int{4, 8, 16, 32, 64}
+	ys := []float64{0.1, 0.3, 0.5, 0.8, 1.0}
+	out := RenderCDF("test curve", xs, ys, 40, 8)
+	if !strings.Contains(out, "test curve") || !strings.Contains(out, "*") {
+		t.Errorf("chart:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // title + 8 rows + axis + labels
+		t.Errorf("chart has %d lines:\n%s", len(lines), out)
+	}
+	// Degenerate inputs degrade gracefully.
+	if got := RenderCDF("x", nil, nil, 40, 8); !strings.Contains(got, "no data") {
+		t.Error("empty CDF not handled")
+	}
+	if got := RenderCDF("x", xs, ys[:3], 40, 8); !strings.Contains(got, "no data") {
+		t.Error("mismatched lengths not handled")
+	}
+}
+
+func TestRenderCDFMonotonicPlacement(t *testing.T) {
+	// A rising CDF must place later points at or above earlier rows.
+	xs := []int{1, 2, 3, 4}
+	ys := []float64{0.0, 0.4, 0.7, 1.0}
+	out := RenderCDF("m", xs, ys, 20, 10)
+	rows := strings.Split(out, "\n")[1:11]
+	col := func(c int) int {
+		for r, line := range rows {
+			idx := strings.Index(line, "|") + 1 + c
+			if idx < len(line) && line[idx] == '*' {
+				return r
+			}
+		}
+		return -1
+	}
+	first, last := col(0), col(19)
+	if first < 0 || last < 0 || last > first {
+		t.Errorf("CDF not rising: first row %d, last row %d\n%s", first, last, out)
+	}
+}
+
+func TestRenderViolin(t *testing.T) {
+	s := Summarise([]float64{0.2, 0.4, 0.5, 0.6, 0.8})
+	out := RenderViolin("server", s, 40)
+	for _, want := range []string{"server", "|", "=", "#", "mean 50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("violin missing %q:\n%s", want, out)
+		}
+	}
+	if got := RenderViolin("x", Summary{}, 40); !strings.Contains(got, "no samples") {
+		t.Error("empty violin not handled")
+	}
+}

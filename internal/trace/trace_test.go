@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                                 Class
+		branch, cond, uncond, call, indir bool
+		mem                               bool
+	}{
+		{ClassOther, false, false, false, false, false, false},
+		{ClassLoad, false, false, false, false, false, true},
+		{ClassStore, false, false, false, false, false, true},
+		{ClassCondBranch, true, true, false, false, false, false},
+		{ClassDirectJump, true, false, true, false, false, false},
+		{ClassIndirectJump, true, false, true, false, true, false},
+		{ClassCall, true, false, true, true, false, false},
+		{ClassIndirectCall, true, false, true, true, true, false},
+		{ClassReturn, true, false, true, false, true, false},
+	}
+	for _, c := range cases {
+		if got := c.c.IsBranch(); got != c.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", c.c, got, c.branch)
+		}
+		if got := c.c.IsConditional(); got != c.cond {
+			t.Errorf("%v.IsConditional() = %v, want %v", c.c, got, c.cond)
+		}
+		if got := c.c.IsUnconditional(); got != c.uncond {
+			t.Errorf("%v.IsUnconditional() = %v, want %v", c.c, got, c.uncond)
+		}
+		if got := c.c.IsCall(); got != c.call {
+			t.Errorf("%v.IsCall() = %v, want %v", c.c, got, c.call)
+		}
+		if got := c.c.IsIndirect(); got != c.indir {
+			t.Errorf("%v.IsIndirect() = %v, want %v", c.c, got, c.indir)
+		}
+		if got := c.c.IsMem(); got != c.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", c.c, got, c.mem)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassCondBranch.String() != "cond-branch" {
+		t.Errorf("got %q", ClassCondBranch.String())
+	}
+	if Class(200).String() != "class(200)" {
+		t.Errorf("got %q", Class(200).String())
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	seq := Instr{PC: 0x1000, Size: 4, Class: ClassOther}
+	if got := seq.NextPC(); got != 0x1004 {
+		t.Errorf("sequential NextPC = %#x, want 0x1004", got)
+	}
+	nt := Instr{PC: 0x1000, Size: 4, Class: ClassCondBranch, Target: 0x2000, Taken: false}
+	if got := nt.NextPC(); got != 0x1004 {
+		t.Errorf("not-taken NextPC = %#x, want 0x1004", got)
+	}
+	tk := nt
+	tk.Taken = true
+	if got := tk.NextPC(); got != 0x2000 {
+		t.Errorf("taken NextPC = %#x, want 0x2000", got)
+	}
+	// Unconditional branches redirect even with Taken left at the
+	// conventional true.
+	j := Instr{PC: 0x1000, Size: 4, Class: ClassDirectJump, Target: 0x3000, Taken: true}
+	if got := j.NextPC(); got != 0x3000 {
+		t.Errorf("jump NextPC = %#x, want 0x3000", got)
+	}
+	if got := j.EndPC(); got != 0x1004 {
+		t.Errorf("EndPC = %#x, want 0x1004", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Instr{PC: 0x10, Size: 4, Class: ClassOther}
+	if err := Validate(good); err != nil {
+		t.Errorf("valid instr rejected: %v", err)
+	}
+	bad := []Instr{
+		{PC: 0x10, Size: 0, Class: ClassOther},                                  // zero size
+		{PC: 0x10, Size: 4, Class: ClassDirectJump, Taken: false, Target: 0x20}, // uncond not taken
+		{PC: 0x10, Size: 4, Class: ClassCondBranch, Taken: true, Target: 0},     // taken, no target
+		{PC: 0x10, Size: 4, Class: ClassLoad},                                   // load without address
+		{PC: 0x10, Size: 4, Class: ClassOther, Taken: true},                     // non-branch taken
+	}
+	for i, in := range bad {
+		if err := Validate(in); err == nil {
+			t.Errorf("case %d: invalid instr accepted: %+v", i, in)
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	ins := []Instr{
+		{PC: 0x100, Size: 4, Class: ClassOther},
+		{PC: 0x104, Size: 4, Class: ClassOther},
+	}
+	s := NewSlice(ins)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var got []Instr
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, in)
+	}
+	if len(got) != 2 || got[0].PC != 0x100 || got[1].PC != 0x104 {
+		t.Errorf("unexpected replay %+v", got)
+	}
+	s.Reset()
+	if in, ok := s.Next(); !ok || in.PC != 0x100 {
+		t.Errorf("Reset did not rewind")
+	}
+}
+
+func TestLoopSource(t *testing.T) {
+	ins := []Instr{
+		{PC: 0x100, Size: 4, Class: ClassOther},
+		{PC: 0x104, Size: 4, Class: ClassOther},
+	}
+	l := NewLoop(ins)
+	for i := 0; i < 7; i++ {
+		in, ok := l.Next()
+		if !ok {
+			t.Fatal("loop source terminated")
+		}
+		want := ins[i%2].PC
+		if in.PC != want {
+			t.Errorf("iteration %d: PC %#x, want %#x", i, in.PC, want)
+		}
+	}
+}
+
+func TestLoopPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLoop(nil) did not panic")
+		}
+	}()
+	NewLoop(nil)
+}
+
+func TestLimit(t *testing.T) {
+	l := NewLimit(NewLoop([]Instr{{PC: 1, Size: 4}}), 3)
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limit yielded %d instructions, want 3", n)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	src := NewSlice([]Instr{{PC: 1, Size: 4}, {PC: 5, Size: 4}})
+	got := Collect(src, 10)
+	if len(got) != 2 {
+		t.Errorf("Collect returned %d, want 2 (finite source)", len(got))
+	}
+	got = Collect(NewLoop([]Instr{{PC: 1, Size: 4}}), 5)
+	if len(got) != 5 {
+		t.Errorf("Collect returned %d, want 5", len(got))
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	ins := []Instr{
+		{PC: 0x100, Size: 4, Class: ClassOther},
+		{PC: 0x104, Size: 4, Class: ClassLoad, MemAddr: 0x8000},
+		{PC: 0x108, Size: 4, Class: ClassStore, MemAddr: 0x8008},
+		{PC: 0x10c, Size: 4, Class: ClassCondBranch, Target: 0x200, Taken: true},
+		{PC: 0x200, Size: 4, Class: ClassCall, Target: 0x400, Taken: true},
+		{PC: 0x400, Size: 4, Class: ClassReturn, Target: 0x204, Taken: true},
+	}
+	st := Measure(NewSlice(ins), 100)
+	if st.Count != 6 {
+		t.Errorf("Count = %d", st.Count)
+	}
+	if st.Loads != 1 || st.Stores != 1 {
+		t.Errorf("Loads/Stores = %d/%d", st.Loads, st.Stores)
+	}
+	if st.Branches != 3 || st.Taken != 3 || st.Conditional != 1 {
+		t.Errorf("Branches/Taken/Conditional = %d/%d/%d", st.Branches, st.Taken, st.Conditional)
+	}
+	if st.Calls != 1 || st.Returns != 1 {
+		t.Errorf("Calls/Returns = %d/%d", st.Calls, st.Returns)
+	}
+	if st.MinPC != 0x100 || st.MaxPC != 0x400 {
+		t.Errorf("PC range [%#x,%#x]", st.MinPC, st.MaxPC)
+	}
+	// Blocks: 0x100-0x10c in block 4, 0x200 in block 8, 0x400 in block 16.
+	if st.UniqueBlocks != 3 {
+		t.Errorf("UniqueBlocks = %d, want 3", st.UniqueBlocks)
+	}
+	if st.Footprint() != 192 {
+		t.Errorf("Footprint = %d, want 192", st.Footprint())
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	st := Measure(NewSlice(nil), 10)
+	if st.Count != 0 || st.MinPC != 0 || st.UniqueBlocks != 0 {
+		t.Errorf("empty Measure = %+v", st)
+	}
+}
+
+func TestSourceFunc(t *testing.T) {
+	n := 0
+	src := SourceFunc(func() (Instr, bool) {
+		n++
+		return Instr{PC: uint64(n), Size: 4}, n <= 2
+	})
+	if _, ok := src.Next(); !ok {
+		t.Error("first Next failed")
+	}
+	if _, ok := src.Next(); !ok {
+		t.Error("second Next failed")
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("third Next should have reported false")
+	}
+}

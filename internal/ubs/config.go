@@ -1,0 +1,165 @@
+// Package ubs implements the Uneven Block Size instruction cache — the
+// paper's contribution (§IV). A UBS cache is a set-associative L1-I whose
+// ways hold differently sized sub-blocks of 64B-aligned blocks, fed by a
+// useful-byte predictor: a small cache holding full 64B blocks with a
+// per-block accessed bit-vector. When the predictor evicts a block, only
+// the maximal runs of accessed bytes move into the uneven ways; the cold
+// bytes are weeded out.
+//
+// The package satisfies icache.Frontend, so the core drives it exactly
+// like the conventional baselines.
+package ubs
+
+import "fmt"
+
+// Granule is the default byte granularity of offsets and bit-vectors: the
+// fixed instruction size of the modelled ISA (§IV-B: for fixed-length ISAs
+// the predictor tracks instructions, not bytes). Variable-length ISAs use
+// Config.OffsetGranule = 1 for byte-granular tracking (§IV-C: 6-bit
+// start_offsets for x86).
+const Granule = 4
+
+// BlockSize is the transfer granularity to/from L2 (unchanged interface,
+// §IV-A).
+const BlockSize = 64
+
+// BlockGranules is the number of granules per 64B block.
+const BlockGranules = BlockSize / Granule
+
+// Config parameterises a UBS cache. The zero value is invalid; use
+// DefaultConfig (Table II) or one of the preset constructors.
+type Config struct {
+	Name string
+	// Sets is the number of cache (and, by default, predictor) sets.
+	Sets int
+	// WaySizes lists each way's capacity in bytes, ascending. Each must be
+	// a multiple of Granule and at most BlockSize.
+	WaySizes []int
+
+	// Predictor organisation (Figure 15): PredictorSets×PredictorWays
+	// entries; direct-mapped when PredictorWays==1; PredictorFIFO selects
+	// FIFO over LRU for associative organisations.
+	PredictorSets int
+	PredictorWays int
+	PredictorFIFO bool
+
+	// Lat is the hit latency in cycles (§VI-I shows UBS preserves the
+	// baseline's 4 cycles).
+	Lat uint64
+	// MSHRs bounds outstanding misses (Table II: 8).
+	MSHRs int
+
+	// PlacementWindow is the number of candidate ways for placing a
+	// sub-block, starting from the smallest fitting way (§IV-F: 4).
+	PlacementWindow int
+	// FillTrailing fills leftover way capacity with the bytes following
+	// the sub-block (§IV-F). Disabling it is an ablation knob.
+	FillTrailing bool
+
+	// OffsetGranule is the byte granularity of start offsets and accessed
+	// bit-vectors: 4 (default) for fixed 4-byte ISAs, 1 for variable-length
+	// ISAs such as x86 (§IV-C). Way sizes must be multiples of it.
+	OffsetGranule int
+
+	// Congruence extensions (§VI-H: block size is complementary to
+	// replacement and insertion policies). DeadBlockWays adds GHRP-style
+	// dead-sub-block prediction to the placement-window victim choice;
+	// AdmissionFilter adds ACIC-style admission control to the
+	// predictor→way movement.
+	DeadBlockWays   bool
+	AdmissionFilter bool
+}
+
+// granule returns the effective offset granularity.
+func (c *Config) granule() int {
+	if c.OffsetGranule == 0 {
+		return Granule
+	}
+	return c.OffsetGranule
+}
+
+// Granules returns the number of granules per 64B block (16 or 64).
+func (c *Config) Granules() int { return BlockSize / c.granule() }
+
+// DefaultConfig returns the Table II configuration: 64 sets, 16 ways of
+// [4,4,8,8,8,12,12,16,24,32,36,36,52,64,64,64] bytes, a 64-set
+// direct-mapped predictor, 4-cycle latency, 8 MSHRs.
+func DefaultConfig() Config {
+	return Config{
+		Name: "ubs",
+		Sets: 64,
+		WaySizes: []int{
+			4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64,
+		},
+		PredictorSets:   64,
+		PredictorWays:   1,
+		Lat:             4,
+		MSHRs:           8,
+		PlacementWindow: 4,
+		FillTrailing:    true,
+	}
+}
+
+// Validate checks structural soundness.
+func (c *Config) Validate() error {
+	switch {
+	case c.Sets < 1:
+		return fmt.Errorf("ubs %s: bad set count %d", c.Name, c.Sets)
+	case len(c.WaySizes) < 1:
+		return fmt.Errorf("ubs %s: no ways", c.Name)
+	case c.PredictorSets < 1 || c.PredictorWays < 1:
+		return fmt.Errorf("ubs %s: bad predictor geometry %dx%d",
+			c.Name, c.PredictorSets, c.PredictorWays)
+	case c.PlacementWindow < 1:
+		return fmt.Errorf("ubs %s: bad placement window %d", c.Name, c.PlacementWindow)
+	case c.MSHRs < 1:
+		return fmt.Errorf("ubs %s: bad MSHR count %d", c.Name, c.MSHRs)
+	}
+	g := c.granule()
+	if g != 1 && g != 2 && g != 4 {
+		return fmt.Errorf("ubs %s: offset granule %d not 1, 2 or 4", c.Name, g)
+	}
+	prev := 0
+	for i, w := range c.WaySizes {
+		if w < g || w > BlockSize || w%g != 0 {
+			return fmt.Errorf("ubs %s: way %d size %d invalid", c.Name, i, w)
+		}
+		if w < prev {
+			return fmt.Errorf("ubs %s: way sizes not ascending at way %d", c.Name, i)
+		}
+		prev = w
+	}
+	return nil
+}
+
+// DataBytesPerSet returns the way storage per set (excluding predictor).
+func (c *Config) DataBytesPerSet() int {
+	n := 0
+	for _, w := range c.WaySizes {
+		n += w
+	}
+	return n
+}
+
+// TotalDataBytes returns way storage plus predictor data storage — the
+// quantity the paper compares against conventional capacities (508B/set
+// for the default ⇒ slightly under 32KB).
+func (c *Config) TotalDataBytes() int {
+	return c.Sets*c.DataBytesPerSet() + c.PredictorSets*c.PredictorWays*BlockSize
+}
+
+// StartOffsetBits returns the start_offset field width for a way of the
+// given size at the default 4-byte granule (Table III): a sub-block of
+// size s can start at any of (64-s)/4+1 granule offsets.
+func StartOffsetBits(waySize int) int { return StartOffsetBitsAt(waySize, Granule) }
+
+// StartOffsetBitsAt generalises StartOffsetBits to other granularities;
+// byte-granular (x86-style) sub-blocks need up to 6 bits (§IV-C).
+func StartOffsetBitsAt(waySize, granule int) int {
+	positions := (BlockSize-waySize)/granule + 1
+	bits := 0
+	for 1<<bits < positions {
+		bits++
+	}
+	return bits
+}

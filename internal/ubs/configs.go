@@ -1,0 +1,96 @@
+package ubs
+
+import "fmt"
+
+// Sized returns a UBS configuration scaled to approximately the given
+// storage-budget class by scaling the set count, keeping the Table II way
+// mix (Figure 11's size sweep: the default 64-set UBS is the "32KB-class"
+// design at 36.34KB total per Table III).
+func Sized(kb int) Config {
+	c := DefaultConfig()
+	c.Name = fmt.Sprintf("ubs-%dKB", kb)
+	c.Sets = 64 * kb / 32
+	if c.Sets < 1 {
+		c.Sets = 1
+	}
+	c.PredictorSets = c.Sets
+	return c
+}
+
+// WayConfig identifies one point of the Figure 16 sensitivity study.
+type WayConfig struct {
+	Ways    int
+	Variant int // 1 or 2
+	Sizes   []int
+}
+
+// WayConfigs lists the Figure 16 configurations. The 14-way lists are the
+// paper's; the others follow the same construction (small ways duplicated,
+// sizes ascending, budget near the Table II 444B/set).
+var WayConfigs = []WayConfig{
+	{10, 1, []int{8, 12, 16, 24, 32, 36, 48, 64, 64, 64}},
+	{10, 2, []int{8, 16, 24, 32, 40, 48, 52, 64, 64, 64}},
+	{12, 1, []int{4, 8, 8, 16, 24, 32, 36, 36, 52, 64, 64, 64}},
+	{12, 2, []int{4, 8, 16, 24, 32, 36, 40, 48, 52, 60, 64, 64}},
+	{14, 1, []int{4, 4, 8, 12, 16, 24, 28, 28, 32, 36, 36, 64, 64, 64}},
+	{14, 2, []int{4, 4, 8, 16, 24, 28, 32, 36, 40, 44, 52, 60, 64, 64}},
+	{16, 1, DefaultConfig().WaySizes},
+	{16, 2, []int{4, 8, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 64, 64}},
+	{18, 1, []int{4, 4, 4, 8, 8, 8, 12, 12, 16, 16, 24, 24, 32, 36, 36, 52, 64, 64}},
+	{18, 2, []int{4, 4, 8, 8, 12, 12, 16, 16, 24, 24, 32, 32, 36, 40, 44, 52, 64, 64}},
+}
+
+// WithWays returns the Figure 16 configuration for the given way count and
+// variant.
+func WithWays(ways, variant int) (Config, error) {
+	for _, wc := range WayConfigs {
+		if wc.Ways == ways && wc.Variant == variant {
+			c := DefaultConfig()
+			c.Name = fmt.Sprintf("ubs-%dway-c%d", ways, variant)
+			c.Sizes(wc.Sizes)
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("ubs: no way config %d/%d", ways, variant)
+}
+
+// Sizes replaces the way-size list (helper for sweep construction).
+func (c *Config) Sizes(sizes []int) {
+	c.WaySizes = append([]int(nil), sizes...)
+}
+
+// PredictorVariant identifies a Figure 15 predictor organisation.
+type PredictorVariant struct {
+	Name string
+	Sets int
+	Ways int
+	FIFO bool
+}
+
+// PredictorVariants lists the Figure 15 organisations for a 64-set UBS
+// cache: the default 64-entry direct-mapped predictor, a doubled
+// 128-entry one, 8-way set-associative with LRU and FIFO, and fully
+// associative FIFO.
+var PredictorVariants = []PredictorVariant{
+	{"direct-64", 64, 1, false},
+	{"direct-128", 128, 1, false},
+	{"assoc8-lru", 8, 8, false},
+	{"assoc8-fifo", 8, 8, true},
+	{"full-fifo", 1, 64, true},
+}
+
+// WithPredictor returns the default configuration with the named Figure 15
+// predictor organisation.
+func WithPredictor(name string) (Config, error) {
+	for _, v := range PredictorVariants {
+		if v.Name == name {
+			c := DefaultConfig()
+			c.Name = "ubs-pred-" + name
+			c.PredictorSets = v.Sets
+			c.PredictorWays = v.Ways
+			c.PredictorFIFO = v.FIFO
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("ubs: no predictor variant %q", name)
+}

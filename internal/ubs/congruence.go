@@ -1,0 +1,128 @@
+package ubs
+
+// Congruence extensions (§VI-H): the paper observes that UBS is orthogonal
+// to replacement and insertion policies — "UBS can work in congruence with
+// ACIC and GHRP since insertion policy, replacement policy, and block size
+// are complementary aspects of a cache design". This file provides the two
+// combinations as optional Config features:
+//
+//   - DeadBlockWays: a GHRP-style dead-sub-block predictor biases the
+//     modified-LRU victim choice within the placement window towards
+//     sub-blocks whose last-touch signature historically led to death
+//     without reuse.
+//   - AdmissionFilter: an ACIC-style region admission table gates the
+//     predictor→way movement: runs from code regions whose sub-blocks
+//     keep dying unreused are discarded instead of placed.
+//
+// Both learn purely from UBS events and add no interaction with the
+// baseline mechanisms, mirroring how the original policies would be
+// attached to a conventional cache.
+
+const (
+	deadTables     = 3
+	deadTableBits  = 11
+	deadCounterMax = 3
+	deadThresh     = 2
+
+	admitTableBits = 11
+	admitMax       = 3
+	admitThresh    = 2  // counters >= admitThresh admit
+	admitRegion    = 11 // log2 bytes of an admission region (2KB)
+)
+
+// deadPredictor is the GHRP-style component for DeadBlockWays.
+type deadPredictor struct {
+	tables  [deadTables][]uint8
+	history uint32
+}
+
+func newDeadPredictor() *deadPredictor {
+	d := &deadPredictor{}
+	for i := range d.tables {
+		d.tables[i] = make([]uint8, 1<<deadTableBits)
+	}
+	return d
+}
+
+func (d *deadPredictor) signature(block uint64, start int) uint32 {
+	h := (block >> 6) ^ uint64(start)<<17 ^ uint64(d.history)<<29
+	h ^= h >> 15
+	h *= 0x9e3779b1
+	h ^= h >> 13
+	return uint32(h)
+}
+
+func (d *deadPredictor) index(t int, sig uint32) int {
+	h := uint64(sig) * (0xc2b2ae35 + 2*uint64(t)*0x85ebca6b)
+	h ^= h >> 13
+	return int(h) & (1<<deadTableBits - 1)
+}
+
+func (d *deadPredictor) predictDead(sig uint32) bool {
+	votes := 0
+	for t := 0; t < deadTables; t++ {
+		if d.tables[t][d.index(t, sig)] >= deadThresh {
+			votes++
+		}
+	}
+	return votes*2 > deadTables
+}
+
+func (d *deadPredictor) train(sig uint32, dead bool) {
+	for t := 0; t < deadTables; t++ {
+		i := d.index(t, sig)
+		if dead {
+			if d.tables[t][i] < deadCounterMax {
+				d.tables[t][i]++
+			}
+		} else if d.tables[t][i] > 0 {
+			d.tables[t][i]--
+		}
+	}
+	d.history = d.history<<3 ^ sig&0x7
+}
+
+// admitFilter is the ACIC-style component for AdmissionFilter.
+type admitFilter struct {
+	table []uint8
+}
+
+func newAdmitFilter() *admitFilter {
+	a := &admitFilter{table: make([]uint8, 1<<admitTableBits)}
+	for i := range a.table {
+		a.table[i] = admitThresh // start admitting
+	}
+	return a
+}
+
+func (a *admitFilter) index(block uint64) int {
+	h := (block >> admitRegion) * 0x9e3779b97f4a7c15
+	h ^= h >> 31
+	return int(h) & (1<<admitTableBits - 1)
+}
+
+func (a *admitFilter) admit(block uint64) bool {
+	return a.table[a.index(block)] >= admitThresh
+}
+
+// trainReuse rewards a region whose placed sub-block proved reuse.
+func (a *admitFilter) trainReuse(block uint64) {
+	if i := a.index(block); a.table[i] < admitMax {
+		a.table[i]++
+	}
+}
+
+// trainDead penalises a region whose placed sub-block died unreused.
+func (a *admitFilter) trainDead(block uint64) {
+	if i := a.index(block); a.table[i] > 0 {
+		a.table[i]--
+	}
+}
+
+// CongruenceStats counts extension events.
+type CongruenceStats struct {
+	DeadVictims    uint64 // victims chosen because predicted dead
+	FilteredRuns   uint64 // runs not placed due to the admission filter
+	ReuseTrainings uint64
+	DeadTrainings  uint64
+}

@@ -1,0 +1,164 @@
+package ubs
+
+// predictor is the useful-byte predictor (§IV-B): a small cache of full
+// 64B blocks, each with a bit-vector recording the granules fetched by the
+// core during the block's residency. On eviction, the bit-vector tells the
+// UBS cache which bytes to keep.
+type predictor struct {
+	sets  [][]predEntry
+	nsets int
+	ways  int
+	fifo  bool
+	clock uint64
+}
+
+type predEntry struct {
+	valid bool
+	// prefetched marks entries filled by FDIP that have not yet seen a
+	// demand fetch; their locality is unknown rather than observed-cold.
+	prefetched bool
+	tag        uint64 // 64B block address
+	mask       uint64 // accessed granules
+	// prefMask marks granules predicted useful by FDIP fetch ranges (§IV-A
+	// start+size requests). They guide distillation when the block is
+	// evicted before its first demand fetch, but do not count as accessed.
+	prefMask uint64
+	order    uint64 // LRU or FIFO timestamp
+	insert   uint64 // fill cycle
+}
+
+func newPredictor(sets, ways int, fifo bool) *predictor {
+	p := &predictor{nsets: sets, ways: ways, fifo: fifo}
+	p.sets = make([][]predEntry, sets)
+	entries := make([]predEntry, sets*ways)
+	for s := range p.sets {
+		p.sets[s], entries = entries[:ways], entries[ways:]
+	}
+	return p
+}
+
+func (p *predictor) set(block uint64) int {
+	return int((block >> 6) % uint64(p.nsets))
+}
+
+// lookup finds the entry for block, optionally refreshing recency.
+func (p *predictor) lookup(block uint64, touch bool) *predEntry {
+	s := p.set(block)
+	for i := range p.sets[s] {
+		e := &p.sets[s][i]
+		if e.valid && e.tag == block {
+			if touch && !p.fifo {
+				p.clock++
+				e.order = p.clock
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// mark records granules [g0,g1] of block as accessed, if resident.
+func (p *predictor) mark(block uint64, g0, g1 int) bool {
+	e := p.lookup(block, true)
+	if e == nil {
+		return false
+	}
+	e.mask |= rangeMask(g0, g1)
+	return true
+}
+
+// insert installs block, returning the victim (valid=false if none). The
+// caller moves the victim's useful bytes into the UBS ways.
+func (p *predictor) insert(block uint64, cycle uint64, prefetched bool) (victim predEntry) {
+	if e := p.lookup(block, true); e != nil {
+		return predEntry{}
+	}
+	s := p.set(block)
+	way, oldest := -1, ^uint64(0)
+	for i := range p.sets[s] {
+		e := &p.sets[s][i]
+		if !e.valid {
+			way = i
+			break
+		}
+		if e.order < oldest {
+			way, oldest = i, e.order
+		}
+	}
+	if p.sets[s][way].valid {
+		victim = p.sets[s][way]
+	}
+	p.clock++
+	p.sets[s][way] = predEntry{valid: true, prefetched: prefetched, tag: block,
+		order: p.clock, insert: cycle}
+	return victim
+}
+
+// invalidate removes block, returning its entry for salvage.
+func (p *predictor) invalidate(block uint64) (predEntry, bool) {
+	s := p.set(block)
+	for i := range p.sets[s] {
+		e := &p.sets[s][i]
+		if e.valid && e.tag == block {
+			out := *e
+			*e = predEntry{}
+			return out, true
+		}
+	}
+	return predEntry{}, false
+}
+
+// forEach visits valid entries.
+func (p *predictor) forEach(f func(*predEntry)) {
+	for s := range p.sets {
+		for i := range p.sets[s] {
+			if p.sets[s][i].valid {
+				f(&p.sets[s][i])
+			}
+		}
+	}
+}
+
+// rangeMask builds a granule mask covering [g0, g1] inclusive. Masks are
+// 64-bit so both 16-granule (4B) and 64-granule (byte) tracking fit.
+func rangeMask(g0, g1 int) uint64 {
+	if g0 < 0 || g1 >= 64 || g0 > g1 {
+		panic("ubs: bad granule range")
+	}
+	if g1-g0 == 63 {
+		return ^uint64(0)
+	}
+	return ((1 << (g1 - g0 + 1)) - 1) << g0
+}
+
+// popcount counts set bits.
+func popcount(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// run is a maximal run of set granule bits.
+type run struct{ start, len int }
+
+func (r run) end() int { return r.start + r.len }
+
+// extractRuns decomposes a mask into maximal runs, ascending.
+func extractRuns(mask uint64) []run {
+	var runs []run
+	for g := 0; g < 64; {
+		if mask&(1<<g) == 0 {
+			g++
+			continue
+		}
+		start := g
+		for g < 64 && mask&(1<<g) != 0 {
+			g++
+		}
+		runs = append(runs, run{start: start, len: g - start})
+	}
+	return runs
+}

@@ -1,0 +1,514 @@
+package ubs
+
+import (
+	"fmt"
+
+	"ubscache/internal/cache"
+	"ubscache/internal/icache"
+	"ubscache/internal/mem"
+)
+
+// wayEntry is one uneven way of one set: a tagged sub-block of a
+// 64B-aligned block, described by its start_offset (in granules) with its
+// size implied by the way (§IV-C).
+type wayEntry struct {
+	valid  bool
+	tag    uint64 // 64B block address
+	start  int    // first stored granule within the block
+	stored int    // granules actually stored (≤ way capacity; clipped at block end)
+	// accessed marks stored granules that have been fetched; bits are
+	// positioned absolutely within the 64B block for simplicity.
+	accessed uint64
+	lru      uint64
+	insert   uint64
+	// reused and sig feed the §VI-H congruence extensions.
+	reused bool
+	sig    uint32
+}
+
+// covers reports whether the sub-block holds granules [g0, g1].
+func (w *wayEntry) covers(g0, g1 int) bool {
+	return w.valid && g0 >= w.start && g1 < w.start+w.stored
+}
+
+// containsGranule reports whether granule g is stored.
+func (w *wayEntry) containsGranule(g int) bool {
+	return w.valid && g >= w.start && g < w.start+w.stored
+}
+
+// Stats extends the common frontend counters with UBS-specific ones.
+type Stats struct {
+	icache.Stats
+	PredictorHits   uint64 // demand hits served by the predictor
+	WayHits         uint64 // demand hits served by the uneven ways
+	Placements      uint64 // sub-blocks moved from predictor to ways
+	DiscardedBlocks uint64 // predictor victims with no useful bytes at all
+	SalvagedMoves   uint64 // partial-miss invalidations salvaged into bit-vectors
+	TrailingFills   uint64 // granules installed speculatively after a run
+	AbsorbedRuns    uint64 // runs merged into a preceding sub-block's fill
+	// Congruence counts events of the §VI-H policy extensions.
+	Congruence CongruenceStats
+}
+
+// Cache is the UBS instruction cache frontend.
+type Cache struct {
+	cfg     Config
+	granule int          // offset granularity in bytes (4 or 1)
+	ng      int          // granules per 64B block (16 or 64)
+	ways    [][]wayEntry // [set][way]
+	wayG    []int        // way capacity in granules
+	pred    *predictor
+	mshr    *mem.MSHR
+	h       *mem.Hierarchy
+	clock   uint64 // LRU clock
+	stats   Stats
+
+	// §VI-H congruence extensions (nil when disabled).
+	dead  *deadPredictor
+	admit *admitFilter
+}
+
+var _ icache.Frontend = (*Cache)(nil)
+
+// New builds a UBS cache over hierarchy h.
+func New(cfg Config, h *mem.Hierarchy) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Cache{cfg: cfg, h: h, mshr: mem.NewMSHR(cfg.MSHRs),
+		granule: cfg.granule(), ng: cfg.Granules()}
+	u.ways = make([][]wayEntry, cfg.Sets)
+	entries := make([]wayEntry, cfg.Sets*len(cfg.WaySizes))
+	for s := range u.ways {
+		u.ways[s], entries = entries[:len(cfg.WaySizes)], entries[len(cfg.WaySizes):]
+	}
+	u.wayG = make([]int, len(cfg.WaySizes))
+	for i, w := range cfg.WaySizes {
+		u.wayG[i] = w / u.granule
+	}
+	u.pred = newPredictor(cfg.PredictorSets, cfg.PredictorWays, cfg.PredictorFIFO)
+	if cfg.DeadBlockWays {
+		u.dead = newDeadPredictor()
+	}
+	if cfg.AdmissionFilter {
+		u.admit = newAdmitFilter()
+	}
+	return u, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew(cfg Config, h *mem.Hierarchy) *Cache {
+	u, err := New(cfg, h)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Name identifies the design.
+func (u *Cache) Name() string { return u.cfg.Name }
+
+// Latency returns the hit latency.
+func (u *Cache) Latency() uint64 { return u.cfg.Lat }
+
+// Config returns the configuration.
+func (u *Cache) Config() Config { return u.cfg }
+
+// Stats returns the common frontend counters.
+func (u *Cache) Stats() icache.Stats { return u.stats.Stats }
+
+// UBSStats returns the full UBS counter set.
+func (u *Cache) UBSStats() Stats { return u.stats }
+
+func (u *Cache) setIndex(block uint64) int {
+	return int((block >> 6) % uint64(u.cfg.Sets))
+}
+
+// granules converts a fetch range (within one 64B block) to inclusive
+// granule coordinates at the cache's offset granularity.
+func (u *Cache) granules(addr uint64, size int) (block uint64, g0, g1 int) {
+	block = addr &^ (BlockSize - 1)
+	g0 = int(addr&(BlockSize-1)) / u.granule
+	g1 = int((addr+uint64(size)-1)&(BlockSize-1)) / u.granule
+	if (addr+uint64(size)-1)&^(BlockSize-1) != block {
+		panic(fmt.Sprintf("ubs: fetch [%#x,+%d) spans 64B blocks", addr, size))
+	}
+	return block, g0, g1
+}
+
+// classify determines the fetch outcome against the uneven ways (§IV-E):
+// way index on Hit, otherwise the partial/full miss kind.
+func (u *Cache) classify(block uint64, g0, g1 int) (way int, kind icache.Kind) {
+	set := u.setIndex(block)
+	tagMatch := false
+	startCovered, endCovered := false, false
+	for w := range u.ways[set] {
+		e := &u.ways[set][w]
+		if !e.valid || e.tag != block {
+			continue
+		}
+		tagMatch = true
+		if e.covers(g0, g1) {
+			return w, icache.Hit
+		}
+		if e.containsGranule(g0) {
+			startCovered = true
+		}
+		if e.containsGranule(g1) {
+			endCovered = true
+		}
+	}
+	switch {
+	case !tagMatch:
+		return -1, icache.FullMiss
+	case startCovered:
+		return -1, icache.Overrun
+	case endCovered:
+		return -1, icache.Underrun
+	default:
+		return -1, icache.MissingSubBlock
+	}
+}
+
+// Fetch implements icache.Frontend. The predictor and the ways are probed
+// in parallel; a request can hit in only one of them (§IV-E).
+func (u *Cache) Fetch(addr uint64, size int, now uint64) icache.Result {
+	u.stats.Fetches++
+	block, g0, g1 := u.granules(addr, size)
+
+	// A block still in flight is unusable; subsequent fetches merge.
+	if done, pending := u.mshr.Lookup(block, now); pending {
+		u.pred.mark(block, g0, g1) // bytes will be useful on arrival
+		u.stats.Misses++
+		u.stats.ByKind[icache.FullMiss]++
+		return icache.Result{Kind: icache.FullMiss, Complete: done, Issued: true}
+	}
+
+	// Predictor probe. A demand fetch clears the prefetched flag: the
+	// entry's bit-vector now reflects observed locality.
+	if u.pred.mark(block, g0, g1) {
+		if e := u.pred.lookup(block, false); e != nil {
+			e.prefetched = false
+		}
+		u.stats.Hits++
+		u.stats.ByKind[icache.Hit]++
+		u.stats.PredictorHits++
+		return icache.Result{Kind: icache.Hit}
+	}
+
+	// Way probe.
+	way, kind := u.classify(block, g0, g1)
+	if kind == icache.Hit {
+		set := u.setIndex(block)
+		e := &u.ways[set][way]
+		e.accessed |= rangeMask(g0, g1)
+		u.clock++
+		e.lru = u.clock
+		if !e.reused {
+			e.reused = true
+			if u.dead != nil {
+				u.dead.train(e.sig, false)
+				u.stats.Congruence.ReuseTrainings++
+			}
+			if u.admit != nil {
+				u.admit.trainReuse(e.tag)
+			}
+		}
+		u.stats.Hits++
+		u.stats.ByKind[icache.Hit]++
+		u.stats.WayHits++
+		return icache.Result{Kind: icache.Hit}
+	}
+
+	// Miss (full or partial): fetch the whole 64B block from L2 (§IV-F).
+	if u.mshr.Full(now) {
+		u.stats.MSHRStalls++
+		return icache.Result{Kind: kind, Issued: false}
+	}
+	ctx := cache.AccessContext{PC: addr, Cycle: now}
+	done, ok := u.h.FetchBlock(block, now+u.cfg.Lat, ctx)
+	if !ok {
+		u.stats.MSHRStalls++
+		return icache.Result{Kind: kind, Issued: false}
+	}
+	u.stats.Misses++
+	u.stats.ByKind[kind]++
+	u.mshr.Insert(block, done)
+	u.install(block, now, rangeMask(g0, g1), false)
+	return icache.Result{Kind: kind, Complete: done, Issued: true}
+}
+
+// install places an incoming 64B block into the predictor: resident
+// sub-blocks of the same block are invalidated first, with their useful
+// bytes salvaged into the new bit-vector (§IV-G), and the predictor victim
+// is distilled into the ways.
+func (u *Cache) install(block uint64, now uint64, demandMask uint64, prefetch bool) {
+	salvaged := u.invalidateSubBlocks(block)
+	if salvaged != 0 {
+		u.stats.SalvagedMoves++
+	}
+	victim := u.pred.insert(block, now, prefetch)
+	if e := u.pred.lookup(block, false); e != nil {
+		e.mask |= demandMask | salvaged
+		if demandMask != 0 || salvaged != 0 {
+			e.prefetched = false
+		}
+	}
+	if victim.valid {
+		keep := victim.mask
+		if victim.mask == 0 && victim.prefetched {
+			// A prefetched block evicted before its first demand fetch:
+			// keep the FDIP-predicted range (the §IV-A start+size request)
+			// rather than dropping a timely prefetch, falling back to the
+			// whole block when no range was recorded. Kept granules stay
+			// unaccessed for the efficiency accounting.
+			keep = victim.prefMask
+			if keep == 0 {
+				keep = rangeMask(0, u.ng-1)
+			}
+		}
+		u.moveToWays(victim.tag, keep, victim.mask, now)
+	}
+}
+
+// invalidateSubBlocks removes all resident sub-blocks of block, returning
+// the union of their accessed-granule masks.
+func (u *Cache) invalidateSubBlocks(block uint64) uint64 {
+	set := u.setIndex(block)
+	var mask uint64
+	for w := range u.ways[set] {
+		e := &u.ways[set][w]
+		if e.valid && e.tag == block {
+			mask |= e.accessed
+			*e = wayEntry{}
+		}
+	}
+	return mask
+}
+
+// moveToWays distils a predictor victim into the uneven ways: each maximal
+// run of accessed granules becomes a sub-block placed in the best-fitting
+// way window; leftover way capacity absorbs the following granules
+// (§IV-F). Runs swallowed by a preceding fill are merged, preserving the
+// non-overlap invariant (§IV-E).
+func (u *Cache) moveToWays(block uint64, keep, accessed uint64, now uint64) {
+	if keep == 0 {
+		u.stats.DiscardedBlocks++
+		return
+	}
+	if u.admit != nil && !u.admit.admit(block) {
+		// ACIC-in-congruence: this region's sub-blocks keep dying without
+		// reuse; bypass the ways entirely (§VI-H).
+		u.stats.Congruence.FilteredRuns += uint64(len(extractRuns(keep)))
+		return
+	}
+	runs := extractRuns(keep)
+	for i := 0; i < len(runs); {
+		r := runs[i]
+		stored := u.place(block, r, accessed, now)
+		end := r.start + stored
+		// Absorb following runs covered by the trailing fill.
+		j := i + 1
+		for j < len(runs) && runs[j].start < end {
+			if runs[j].end() <= end {
+				u.stats.AbsorbedRuns++
+				j++
+				continue
+			}
+			// Partially covered: the remainder becomes its own run.
+			runs[j] = run{start: end, len: runs[j].end() - end}
+			break
+		}
+		i = j
+	}
+}
+
+// place installs one run as a sub-block and returns the stored granule
+// count (≥ r.len when trailing fill applies).
+func (u *Cache) place(block uint64, r run, accessedMask uint64, now uint64) int {
+	// Smallest way class that fits the run (§IV-F).
+	n := 0
+	for n < len(u.wayG) && u.wayG[n] < r.len {
+		n++
+	}
+	if n == len(u.wayG) {
+		n = len(u.wayG) - 1 // cannot happen: max way holds a full block
+	}
+	last := n + u.cfg.PlacementWindow - 1
+	if last >= len(u.wayG) {
+		last = len(u.wayG) - 1
+	}
+	set := u.setIndex(block)
+	// Modified LRU among the candidate window (§IV-F); with DeadBlockWays,
+	// predicted-dead sub-blocks are preferred victims.
+	way, oldest := -1, ^uint64(0)
+	deadWay, deadOldest := -1, ^uint64(0)
+	for w := n; w <= last; w++ {
+		e := &u.ways[set][w]
+		if !e.valid {
+			way = w
+			break
+		}
+		if e.lru < oldest {
+			way, oldest = w, e.lru
+		}
+		if u.dead != nil && u.dead.predictDead(e.sig) && e.lru < deadOldest {
+			deadWay, deadOldest = w, e.lru
+		}
+	}
+	if way >= 0 && u.ways[set][way].valid && deadWay >= 0 {
+		way = deadWay
+		u.stats.Congruence.DeadVictims++
+	}
+	e := &u.ways[set][way]
+	if e.valid {
+		if u.dead != nil {
+			u.dead.train(e.sig, !e.reused)
+			if !e.reused {
+				u.stats.Congruence.DeadTrainings++
+			}
+		}
+		if u.admit != nil && !e.reused {
+			u.admit.trainDead(e.tag)
+		}
+	}
+	stored := u.wayG[way]
+	if r.start+stored > u.ng {
+		stored = u.ng - r.start
+	}
+	if !u.cfg.FillTrailing && stored > r.len {
+		stored = r.len
+	}
+	u.clock++
+	accessed := accessedMask & rangeMask(r.start, r.start+stored-1)
+	var sig uint32
+	if u.dead != nil {
+		sig = u.dead.signature(block, r.start)
+	}
+	*e = wayEntry{
+		valid: true, tag: block, start: r.start, stored: stored,
+		accessed: accessed, lru: u.clock, insert: now, sig: sig,
+	}
+	u.stats.Placements++
+	u.stats.TrailingFills += uint64(stored - popcount(accessed))
+	return stored
+}
+
+// Prefetch implements icache.Frontend: prefetched blocks enter through the
+// predictor like all incoming blocks, and the requested range accumulates
+// into the entry's predicted-useful mask.
+func (u *Cache) Prefetch(addr uint64, size int, now uint64) {
+	block, g0, g1 := u.granules(addr, size)
+	if e := u.pred.lookup(block, false); e != nil {
+		e.prefMask |= rangeMask(g0, g1)
+		return
+	}
+	if w, kind := u.classify(block, g0, g1); kind == icache.Hit {
+		_ = w
+		return
+	}
+	if _, pending := u.mshr.Lookup(block, now); pending {
+		return
+	}
+	if u.mshr.Full(now) {
+		u.stats.PrefetchDrops++
+		return
+	}
+	ctx := cache.AccessContext{PC: addr, Cycle: now, Prefetch: true}
+	done, ok := u.h.FetchBlock(block, now+u.cfg.Lat, ctx)
+	if !ok {
+		u.stats.PrefetchDrops++
+		return
+	}
+	u.stats.Prefetches++
+	u.mshr.Insert(block, done)
+	u.install(block, now, 0, true)
+	if e := u.pred.lookup(block, false); e != nil {
+		e.prefMask |= rangeMask(g0, g1)
+	}
+}
+
+// Efficiency returns the storage-efficiency metric over both the uneven
+// ways and the predictor: the fraction of stored granules accessed at
+// least once during the block's current residency. Granules carried over
+// from the predictor keep their accessed status (they were fetched during
+// this residency); trailing-fill granules start cold.
+func (u *Cache) Efficiency() (float64, bool) {
+	var used, total int
+	for s := range u.ways {
+		for w := range u.ways[s] {
+			e := &u.ways[s][w]
+			if e.valid {
+				used += popcount(e.accessed)
+				total += e.stored
+			}
+		}
+	}
+	u.pred.forEach(func(e *predEntry) {
+		used += popcount(e.mask)
+		total += u.ng
+	})
+	if total == 0 {
+		return 0, false
+	}
+	return float64(used) / float64(total), true
+}
+
+// ResidentBlocks returns (waySubBlocks, predictorBlocks) — the paper's
+// "more than 2x the blocks of a conventional cache" claim is checked
+// against these.
+func (u *Cache) ResidentBlocks() (ways, pred int) {
+	for s := range u.ways {
+		for w := range u.ways[s] {
+			if u.ways[s][w].valid {
+				ways++
+			}
+		}
+	}
+	u.pred.forEach(func(*predEntry) { pred++ })
+	return ways, pred
+}
+
+// CheckInvariants validates the §IV-E structural invariants: sub-blocks of
+// the same 64B block never overlap, stored extents stay within the block
+// and within way capacity, and every sub-block lives in its home set. It
+// returns the first violation found. Tests and the property harness call
+// this after every operation batch.
+func (u *Cache) CheckInvariants() error {
+	for s := range u.ways {
+		type span struct{ lo, hi int }
+		perBlock := make(map[uint64][]span)
+		for w := range u.ways[s] {
+			e := &u.ways[s][w]
+			if !e.valid {
+				continue
+			}
+			if u.setIndex(e.tag) != s {
+				return fmt.Errorf("ubs: block %#x in wrong set %d", e.tag, s)
+			}
+			if e.stored < 1 || e.stored > u.wayG[w] {
+				return fmt.Errorf("ubs: way %d stores %d granules, capacity %d",
+					w, e.stored, u.wayG[w])
+			}
+			if e.start < 0 || e.start+e.stored > u.ng {
+				return fmt.Errorf("ubs: sub-block [%d,+%d) exceeds block", e.start, e.stored)
+			}
+			if e.accessed&^rangeMask(e.start, e.start+e.stored-1) != 0 {
+				return fmt.Errorf("ubs: accessed bits outside stored range")
+			}
+			for _, sp := range perBlock[e.tag] {
+				if e.start < sp.hi && sp.lo < e.start+e.stored {
+					return fmt.Errorf("ubs: overlapping sub-blocks of %#x", e.tag)
+				}
+			}
+			perBlock[e.tag] = append(perBlock[e.tag], span{e.start, e.start + e.stored})
+		}
+		// A block must not be resident in both predictor and ways.
+		for tag := range perBlock {
+			if u.pred.lookup(tag, false) != nil {
+				return fmt.Errorf("ubs: block %#x in both predictor and ways", tag)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Family identifies a workload category, mirroring the paper's trace sets.
+type Family string
+
+// The workload families. Server, Client and SPEC stand in for the IPC-1
+// trace categories; Google for the Google server traces (better code layout
+// via ColdSplit); the CVP families for the CVP-1 traces used in §VI-L.
+const (
+	FamilyServer    Family = "server"
+	FamilyClient    Family = "client"
+	FamilySPEC      Family = "spec"
+	FamilyGoogle    Family = "google"
+	FamilyCVPServer Family = "cvp-server"
+	FamilyCVPInt    Family = "cvp-int"
+	FamilyCVPFP     Family = "cvp-fp"
+	// FamilyX86Server mirrors the server family on a variable-length
+	// (x86-like) ISA — the regime of the paper's Figure 1a, where UBS
+	// tracks bytes instead of instructions (§IV-B) and start_offsets need
+	// 6 bits (§IV-C).
+	FamilyX86Server Family = "x86-server"
+)
+
+// FamilyCounts lists how many workloads each family preset defines. The
+// paper uses more traces per family (e.g. 35 IPC-1 server traces, 77 CVP-1
+// server traces); we scale the counts down to fit a laptop-scale sweep while
+// keeping enough per-family diversity for geomeans to be meaningful.
+var FamilyCounts = map[Family]int{
+	FamilyServer:    16,
+	FamilyClient:    8,
+	FamilySPEC:      10,
+	FamilyGoogle:    8,
+	FamilyCVPServer: 10,
+	FamilyCVPInt:    8,
+	FamilyCVPFP:     5,
+	FamilyX86Server: 6,
+}
+
+// jitter derives a deterministic per-index multiplier in [1-amp, 1+amp].
+func jitter(idx int, salt uint64, amp float64) float64 {
+	h := uint64(idx+1)*0x9e3779b97f4a7c15 + salt
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	u := float64(h%10000) / 10000 // [0,1)
+	return 1 - amp + 2*amp*u
+}
+
+func scaleInt(base int, m float64) int {
+	v := int(float64(base)*m + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Preset returns the configuration for the idx-th workload (0-based) of a
+// family. Workload names follow the paper's convention: server_001, ….
+func Preset(f Family, idx int) (Config, error) {
+	n, ok := FamilyCounts[f]
+	if !ok {
+		return Config{}, fmt.Errorf("workload: unknown family %q", f)
+	}
+	if idx < 0 || idx >= n {
+		return Config{}, fmt.Errorf("workload: %s index %d out of range [0,%d)", f, idx, n)
+	}
+	cfg := baseConfig(f, idx)
+	cfg.Name = fmt.Sprintf("%s_%03d", f, idx+1)
+	cfg.Seed = int64(uint64(idx+1)*1_000_003) ^ seedSalt(f)
+	return cfg, nil
+}
+
+func seedSalt(f Family) int64 {
+	var s int64
+	for _, c := range string(f) {
+		s = s*131 + int64(c)
+	}
+	return s
+}
+
+func baseConfig(f Family, idx int) Config {
+	j := func(salt uint64, amp float64) float64 { return jitter(idx, salt, amp) }
+	switch f {
+	case FamilyServer:
+		return Config{
+			Functions:       scaleInt(6500, j(1, 0.35)),
+			HotBlocksPer:    [2]int{4, 12},
+			HotBlockInstrs:  [2]int{2, 9},
+			ColdBlockInstrs: [2]int{6, 20},
+			ColdFrac:        0.58 * j(2, 0.2),
+			ColdSplit:       0.05,
+			ColdExecProb:    0.003,
+			CondProb:        0.40,
+			CallProb:        0.32 * j(3, 0.2),
+			IndirectFrac:    0.12,
+			MaxDepth:        8,
+			LoopProb:        0.25,
+			LoopIters:       [2]int{2, 8},
+			WorkingSetFuncs: scaleInt(1800, j(4, 0.4)),
+			PhaseLen:        600,
+			LoadFrac:        0.20,
+			StoreFrac:       0.08,
+			DataFootprint:   2 << 20,
+		}
+	case FamilyGoogle:
+		// Like server, but with profile-guided hot/cold splitting and
+		// function alignment — the paper notes Google workloads show better
+		// storage efficiency thanks to layout optimisation.
+		c := baseConfig(FamilyServer, idx)
+		c.Functions = scaleInt(5600, j(11, 0.3))
+		c.ColdSplit = 0.55
+		c.FuncAlign = 64
+		c.WorkingSetFuncs = scaleInt(1500, j(12, 0.35))
+		return c
+	case FamilyClient:
+		return Config{
+			Functions:       scaleInt(1400, j(21, 0.3)),
+			HotBlocksPer:    [2]int{3, 10},
+			HotBlockInstrs:  [2]int{2, 10},
+			ColdBlockInstrs: [2]int{5, 18},
+			ColdFrac:        0.55 * j(22, 0.2),
+			ColdSplit:       0.05,
+			ColdExecProb:    0.003,
+			CondProb:        0.38,
+			CallProb:        0.20 * j(23, 0.2),
+			IndirectFrac:    0.08,
+			MaxDepth:        6,
+			LoopProb:        0.45,
+			LoopIters:       [2]int{3, 16},
+			WorkingSetFuncs: scaleInt(420, j(24, 0.4)),
+			PhaseLen:        300,
+			LoadFrac:        0.22,
+			StoreFrac:       0.09,
+			DataFootprint:   1 << 20,
+		}
+	case FamilySPEC:
+		return Config{
+			Functions:       scaleInt(800, j(31, 0.35)),
+			HotBlocksPer:    [2]int{3, 12},
+			HotBlockInstrs:  [2]int{3, 14},
+			ColdBlockInstrs: [2]int{8, 20},
+			ColdFrac:        0.68 * j(32, 0.2),
+			ColdSplit:       0.05,
+			ColdExecProb:    0.001,
+			CondProb:        0.40,
+			CallProb:        0.15 * j(33, 0.25),
+			IndirectFrac:    0.04,
+			MaxDepth:        4,
+			LoopProb:        0.70,
+			LoopIters:       [2]int{4, 24},
+			WorkingSetFuncs: scaleInt(320, j(34, 0.45)),
+			PhaseLen:        500,
+			LoadFrac:        0.24,
+			StoreFrac:       0.10,
+			DataFootprint:   4 << 20,
+		}
+	case FamilyX86Server:
+		c := baseConfig(FamilyServer, idx)
+		c.VarLenISA = true
+		c.InstrSizeRange = [2]int{2, 9}
+		// Variable-length encodings pack more work per byte; keep the byte
+		// footprint comparable by trimming the function count slightly.
+		c.Functions = scaleInt(5200, j(71, 0.3))
+		c.WorkingSetFuncs = scaleInt(1500, j(72, 0.35))
+		return c
+	case FamilyCVPServer:
+		c := baseConfig(FamilyServer, idx)
+		c.Functions = scaleInt(4200, j(41, 0.45))
+		c.WorkingSetFuncs = scaleInt(1100, j(42, 0.5))
+		c.ColdFrac = 0.40 * j(43, 0.3)
+		c.CallProb = 0.22 * j(44, 0.25)
+		return c
+	case FamilyCVPInt:
+		c := baseConfig(FamilyClient, idx)
+		c.Functions = scaleInt(520, j(51, 0.4))
+		c.WorkingSetFuncs = scaleInt(100, j(52, 0.5))
+		c.LoopProb = 0.6
+		return c
+	case FamilyCVPFP:
+		c := baseConfig(FamilySPEC, idx)
+		c.HotBlockInstrs = [2]int{6, 22}
+		c.LoopIters = [2]int{12, 96}
+		c.WorkingSetFuncs = scaleInt(50, j(61, 0.5))
+		return c
+	default:
+		return Config{}
+	}
+}
+
+// Names returns the workload names of a family in index order.
+func Names(f Family) []string {
+	n := FamilyCounts[f]
+	out := make([]string, n)
+	for i := range out {
+		cfg, _ := Preset(f, i)
+		out[i] = cfg.Name
+	}
+	return out
+}
+
+// Families returns all family identifiers in stable order.
+func Families() []Family {
+	out := make([]Family, 0, len(FamilyCounts))
+	for f := range FamilyCounts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ByName resolves a workload name like "server_003" to its configuration.
+func ByName(name string) (Config, error) {
+	for f, n := range FamilyCounts {
+		for i := 0; i < n; i++ {
+			cfg, err := Preset(f, i)
+			if err != nil {
+				return Config{}, err
+			}
+			if cfg.Name == name {
+				return cfg, nil
+			}
+		}
+	}
+	return Config{}, fmt.Errorf("workload: unknown workload %q", name)
+}

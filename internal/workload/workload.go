@@ -1,0 +1,476 @@
+// Package workload synthesises deterministic server-like instruction
+// streams. It substitutes for the proprietary Google server traces, the
+// Qualcomm IPC-1 traces, and the CVP-1 traces used by the UBS paper (see
+// DESIGN.md §3).
+//
+// A workload is a static Program — a set of functions made of basic blocks
+// laid out in a virtual address space with hot and cold code physically
+// interleaved at sub-cache-block granularity — plus a deterministic Walker
+// that interprets the program's control-flow graph and emits the dynamic
+// instruction stream. Both the program construction and the walk are pure
+// functions of the workload seed.
+//
+// The generator exposes exactly the properties the paper's results depend
+// on: code footprint (drives L1-I MPKI), hot/cold mixing density (drives
+// cache-block storage efficiency), basic-block size distribution (drives
+// spatial-locality variability), branch bias (drives prediction accuracy),
+// and call depth (deep software stacks).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// InstrBytes is the fixed instruction size of the modelled ISA (ARM-like,
+// matching the IPC-1 traces used for the paper's performance results).
+const InstrBytes = 4
+
+// TermKind identifies how a basic block ends.
+type TermKind uint8
+
+const (
+	// TermFallthrough: the block flows into Block.Next.
+	TermFallthrough TermKind = iota
+	// TermCond: conditional branch to TargetBlock, falling to Next otherwise.
+	TermCond
+	// TermJump: unconditional direct jump to TargetBlock.
+	TermJump
+	// TermCall: direct call to Callee, resuming at Block.Next.
+	TermCall
+	// TermIndirectCall: indirect call to one of Callees, resuming at Next.
+	TermIndirectCall
+	// TermReturn: return to the caller.
+	TermReturn
+)
+
+var termNames = [...]string{"fallthrough", "cond", "jump", "call", "indirect-call", "return"}
+
+// String returns the terminator kind name.
+func (k TermKind) String() string {
+	if int(k) < len(termNames) {
+		return termNames[k]
+	}
+	return fmt.Sprintf("term(%d)", uint8(k))
+}
+
+// Terminator describes a basic block's final control transfer.
+type Terminator struct {
+	Kind TermKind
+	// TargetBlock is the intra-function block index for TermCond/TermJump.
+	TargetBlock int
+	// Callee is the program function index for TermCall.
+	Callee int
+	// Callees are candidate function indices for TermIndirectCall.
+	Callees []int
+	// TakenProb is the probability a TermCond branch is taken.
+	TakenProb float64
+}
+
+// Block is one basic block: NInstr instructions, the last of which
+// realises the terminator (unless the terminator is a fallthrough, in
+// which case every instruction is a plain one).
+type Block struct {
+	Addr   uint64
+	NInstr int
+	Term   Terminator
+	Cold   bool
+	// Split marks a cold block relocated to the program's cold region.
+	Split bool
+	// Next is the intra-function block index executed after a fallthrough,
+	// an untaken conditional, or a call return. -1 for return blocks.
+	Next int
+	// Offs holds per-instruction byte offsets for variable-length ISAs
+	// (len NInstr+1, last entry = block byte length); nil for the fixed
+	// 4-byte ISA.
+	Offs []uint16
+}
+
+// SizeBytes returns the block's byte length.
+func (b *Block) SizeBytes() int {
+	if b.Offs != nil {
+		return int(b.Offs[b.NInstr])
+	}
+	return b.NInstr * InstrBytes
+}
+
+// InstrAddr returns the address of the i-th instruction.
+func (b *Block) InstrAddr(i int) uint64 {
+	if b.Offs != nil {
+		return b.Addr + uint64(b.Offs[i])
+	}
+	return b.Addr + uint64(i*InstrBytes)
+}
+
+// InstrSize returns the byte size of the i-th instruction.
+func (b *Block) InstrSize(i int) int {
+	if b.Offs != nil {
+		return int(b.Offs[i+1] - b.Offs[i])
+	}
+	return InstrBytes
+}
+
+// End returns the address one past the block's last byte.
+func (b *Block) End() uint64 { return b.Addr + uint64(b.SizeBytes()) }
+
+// Func is one function of the synthetic program.
+type Func struct {
+	Blocks []Block
+	Entry  int // block index of the entry block
+	// Level is the static call-depth level; a function only calls functions
+	// of Level+1, which statically bounds the dynamic call depth.
+	Level int
+	// DataBase is the base address of this function's heap data region.
+	DataBase uint64
+}
+
+// Program is a complete static code image.
+type Program struct {
+	Funcs []Func
+	// CodeBytes is the total laid-out code size, including cold regions.
+	CodeBytes uint64
+	cfg       Config
+}
+
+// Config parameterises program synthesis. All distributions are uniform over
+// the inclusive [2]int ranges unless stated otherwise.
+type Config struct {
+	Name string
+	Seed int64
+
+	// Static shape.
+	Functions       int    // number of functions
+	HotBlocksPer    [2]int // hot basic blocks per function
+	HotBlockInstrs  [2]int // instructions per hot block
+	ColdBlockInstrs [2]int // instructions per cold block
+	ColdFrac        float64
+	// ColdSplit is the fraction of cold blocks relocated to a separate cold
+	// code region (profile-guided layout quality; ~0 for unoptimised code,
+	// higher for Google-style layouts).
+	ColdSplit float64
+	FuncAlign uint64 // function start alignment in bytes
+	CodeBase  uint64
+
+	// Control flow.
+	ColdExecProb float64 // probability a cold detour executes
+	CondProb     float64 // probability a hot block ends in an extra conditional
+	CallProb     float64 // probability a hot block ends in a call
+	IndirectFrac float64 // fraction of calls that are indirect
+	MaxDepth     int     // static call-depth bound
+	LoopProb     float64 // probability a function contains a loop
+	LoopIters    [2]int  // mean loop trip counts (per-loop mean uniform in range)
+
+	// Dynamics.
+	WorkingSetFuncs int // entry functions active per phase
+	PhaseLen        int // requests per phase before the working set drifts
+	DriftFuncs      int // working-set shift per phase
+
+	// Data side.
+	LoadFrac      float64
+	StoreFrac     float64
+	DataFootprint uint64
+	StackBase     uint64
+	FrameBytes    uint64
+
+	// ISA shape. VarLenISA emits x86-like variable-length instructions
+	// with sizes drawn uniformly from InstrSizeRange (default [2,9]);
+	// otherwise every instruction is 4 bytes.
+	VarLenISA      bool
+	InstrSizeRange [2]int
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Functions < 2:
+		return fmt.Errorf("workload %s: need at least 2 functions", c.Name)
+	case c.HotBlocksPer[0] < 1 || c.HotBlocksPer[1] < c.HotBlocksPer[0]:
+		return fmt.Errorf("workload %s: bad HotBlocksPer %v", c.Name, c.HotBlocksPer)
+	case c.HotBlockInstrs[0] < 1 || c.HotBlockInstrs[1] < c.HotBlockInstrs[0]:
+		return fmt.Errorf("workload %s: bad HotBlockInstrs %v", c.Name, c.HotBlockInstrs)
+	case c.MaxDepth < 1:
+		return fmt.Errorf("workload %s: MaxDepth must be >= 1", c.Name)
+	case c.WorkingSetFuncs < 1 || c.WorkingSetFuncs > c.Functions:
+		return fmt.Errorf("workload %s: bad WorkingSetFuncs %d", c.Name, c.WorkingSetFuncs)
+	case c.LoadFrac+c.StoreFrac > 0.9:
+		return fmt.Errorf("workload %s: memory fractions too high", c.Name)
+	}
+	return nil
+}
+
+func uniform(rng *rand.Rand, r [2]int) int {
+	if r[1] <= r[0] {
+		return r[0]
+	}
+	return r[0] + rng.Intn(r[1]-r[0]+1)
+}
+
+// branchBias draws a per-static-branch taken probability. The mixture gives
+// mostly strongly biased branches (predictable by a perceptron) with a tail
+// of hard branches, approximating server-code prediction accuracy.
+func branchBias(rng *rand.Rand) float64 {
+	switch x := rng.Float64(); {
+	case x < 0.60:
+		return 0.985
+	case x < 0.82:
+		return 0.015
+	case x < 0.95:
+		return 0.92
+	default:
+		return 0.68
+	}
+}
+
+// Build synthesises the static program for cfg. The result is a pure
+// function of cfg (including Seed).
+func Build(cfg Config) (*Program, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FuncAlign == 0 {
+		cfg.FuncAlign = 16
+	}
+	if cfg.CodeBase == 0 {
+		cfg.CodeBase = 0x400000
+	}
+	if cfg.StackBase == 0 {
+		cfg.StackBase = 0x7fff_0000_0000
+	}
+	if cfg.FrameBytes == 0 {
+		cfg.FrameBytes = 256
+	}
+	if cfg.DataFootprint == 0 {
+		cfg.DataFootprint = 1 << 20
+	}
+	if cfg.ColdBlockInstrs[0] == 0 {
+		cfg.ColdBlockInstrs = [2]int{4, 16}
+	}
+	if cfg.VarLenISA && cfg.InstrSizeRange[0] == 0 {
+		cfg.InstrSizeRange = [2]int{2, 9}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Program{cfg: cfg, Funcs: make([]Func, cfg.Functions)}
+
+	for fi := range p.Funcs {
+		buildFunc(p, fi, rng)
+	}
+
+	// Callees are picked once all functions exist.
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		for bi := range f.Blocks {
+			term := &f.Blocks[bi].Term
+			switch term.Kind {
+			case TermCall:
+				term.Callee = p.pickCallee(rng, fi)
+			case TermIndirectCall:
+				n := 2 + rng.Intn(3)
+				term.Callees = make([]int, n)
+				for k := range term.Callees {
+					term.Callees[k] = p.pickCallee(rng, fi)
+				}
+			}
+		}
+	}
+
+	// Layout: non-split blocks sequentially per function, then all split
+	// cold blocks in a trailing cold region. The first 64 bytes at CodeBase
+	// are reserved for the walker's synthetic dispatcher loop.
+	addr := cfg.CodeBase + 64
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		if rem := addr % cfg.FuncAlign; rem != 0 {
+			addr += cfg.FuncAlign - rem
+		}
+		for bi := range f.Blocks {
+			if f.Blocks[bi].Split {
+				continue
+			}
+			f.Blocks[bi].Addr = addr
+			addr += uint64(f.Blocks[bi].SizeBytes())
+		}
+	}
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		for bi := range f.Blocks {
+			if !f.Blocks[bi].Split {
+				continue
+			}
+			if rem := addr % cfg.FuncAlign; rem != 0 {
+				addr += cfg.FuncAlign - rem
+			}
+			f.Blocks[bi].Addr = addr
+			addr += uint64(f.Blocks[bi].SizeBytes())
+		}
+	}
+	p.CodeBytes = addr - cfg.CodeBase
+
+	// Per-function data bases.
+	dataBase := uint64(0x1000_0000)
+	for fi := range p.Funcs {
+		p.Funcs[fi].DataBase = dataBase + (uint64(rng.Int63())%cfg.DataFootprint)&^7
+	}
+	return p, nil
+}
+
+// buildFunc synthesises one function's blocks and intra-function edges.
+func buildFunc(p *Program, fi int, rng *rand.Rand) {
+	cfg := &p.cfg
+	f := &p.Funcs[fi]
+	f.Level = fi % cfg.MaxDepth
+	nHot := uniform(rng, cfg.HotBlocksPer)
+	hasLoop := rng.Float64() < cfg.LoopProb && nHot >= 3
+	loopHead, loopTail := -1, -1
+	if hasLoop {
+		loopHead = 1 + rng.Intn(nHot-2)
+		loopTail = loopHead + 1 + rng.Intn(nHot-loopHead-1)
+	}
+
+	// Create hot blocks, interleaving cold blocks; record hot indices.
+	hotIdx := make([]int, 0, nHot)
+	coldAfter := make(map[int]int) // hot position h -> cold block index
+	for h := 0; h < nHot; h++ {
+		b := Block{NInstr: uniform(rng, cfg.HotBlockInstrs)}
+		sizeInstrs(cfg, rng, &b)
+		f.Blocks = append(f.Blocks, b)
+		hotIdx = append(hotIdx, len(f.Blocks)-1)
+		last := h == nHot-1
+		if !last && h != loopTail && rng.Float64() < cfg.ColdFrac {
+			cb := Block{
+				NInstr: uniform(rng, cfg.ColdBlockInstrs),
+				Cold:   true,
+				Split:  rng.Float64() < cfg.ColdSplit,
+			}
+			sizeInstrs(cfg, rng, &cb)
+			f.Blocks = append(f.Blocks, cb)
+			coldAfter[h] = len(f.Blocks) - 1
+		}
+	}
+	f.Entry = hotIdx[0]
+
+	// Terminators and edges.
+	for h, bi := range hotIdx {
+		b := &f.Blocks[bi]
+		if h == nHot-1 {
+			b.Term = Terminator{Kind: TermReturn}
+			b.Next = -1
+			continue
+		}
+		nextHot := hotIdx[h+1]
+		if ci, ok := coldAfter[h]; ok {
+			cold := &f.Blocks[ci]
+			if cold.Split {
+				// Rarely-taken branch out to the relocated cold block,
+				// which jumps back to the hot path.
+				b.Term = Terminator{Kind: TermCond, TargetBlock: ci,
+					TakenProb: cfg.ColdExecProb}
+				b.Next = nextHot
+				cold.Term = Terminator{Kind: TermJump, TargetBlock: nextHot}
+				cold.Next = nextHot
+			} else {
+				// Usually-taken skip branch over the inline cold block;
+				// the rare untaken path falls into the cold code.
+				b.Term = Terminator{Kind: TermCond, TargetBlock: nextHot,
+					TakenProb: 1 - cfg.ColdExecProb}
+				b.Next = ci
+				cold.Term = Terminator{Kind: TermFallthrough}
+				cold.Next = nextHot
+			}
+			continue
+		}
+		b.Next = nextHot
+		switch {
+		case h == loopTail:
+			mean := float64(uniform(rng, cfg.LoopIters))
+			if mean < 1 {
+				mean = 1
+			}
+			b.Term = Terminator{Kind: TermCond, TargetBlock: hotIdx[loopHead],
+				TakenProb: mean / (mean + 1)}
+		case f.Level < cfg.MaxDepth-1 && rng.Float64() < cfg.CallProb:
+			b.Term = Terminator{Kind: TermCall}
+			if rng.Float64() < cfg.IndirectFrac {
+				b.Term.Kind = TermIndirectCall
+			}
+		case rng.Float64() < cfg.CondProb:
+			// Forward conditional skipping 1..3 hot blocks (if/else shape);
+			// both paths reconverge.
+			skip := h + 1 + rng.Intn(3)
+			if skip >= len(hotIdx) {
+				skip = len(hotIdx) - 1
+			}
+			b.Term = Terminator{Kind: TermCond, TargetBlock: hotIdx[skip],
+				TakenProb: branchBias(rng)}
+		default:
+			b.Term = Terminator{Kind: TermFallthrough}
+		}
+	}
+}
+
+// pickCallee selects a callee for caller fi: a function at level+1, biased
+// towards nearby indices (call-tree clustering / code locality).
+func (p *Program) pickCallee(rng *rand.Rand, fi int) int {
+	level := p.Funcs[fi].Level + 1
+	n := len(p.Funcs)
+	hops := 1
+	for rng.Float64() < 0.6 && hops < 32 {
+		hops++
+	}
+	cand := fi
+	for seen := 0; seen <= 2*n+64; seen++ {
+		cand = (cand + 1) % n
+		if p.Funcs[cand].Level == level {
+			hops--
+			if hops == 0 {
+				return cand
+			}
+		}
+	}
+	// Unreachable with round-robin level assignment; stay safe.
+	return (fi + 1) % n
+}
+
+// Config returns the configuration the program was built from.
+func (p *Program) Config() Config { return p.cfg }
+
+// BlockAt returns the function and block containing addr, or ok=false.
+// It is O(n) and intended for tests and debugging only.
+func (p *Program) BlockAt(addr uint64) (fn, blk int, ok bool) {
+	for fi := range p.Funcs {
+		for bi := range p.Funcs[fi].Blocks {
+			b := &p.Funcs[fi].Blocks[bi]
+			if addr >= b.Addr && addr < b.End() {
+				return fi, bi, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// HotBytes returns the total bytes of hot (non-cold) blocks — the warm code
+// footprint a perfect layout would need.
+func (p *Program) HotBytes() uint64 {
+	var n uint64
+	for fi := range p.Funcs {
+		for bi := range p.Funcs[fi].Blocks {
+			if !p.Funcs[fi].Blocks[bi].Cold {
+				n += uint64(p.Funcs[fi].Blocks[bi].SizeBytes())
+			}
+		}
+	}
+	return n
+}
+
+// sizeInstrs assigns per-instruction byte offsets for variable-length
+// ISAs; fixed-size ISAs keep Offs nil.
+func sizeInstrs(cfg *Config, rng *rand.Rand, b *Block) {
+	if !cfg.VarLenISA {
+		return
+	}
+	b.Offs = make([]uint16, b.NInstr+1)
+	off := 0
+	for i := 0; i < b.NInstr; i++ {
+		b.Offs[i] = uint16(off)
+		off += uniform(rng, cfg.InstrSizeRange)
+	}
+	b.Offs[b.NInstr] = uint16(off)
+}

@@ -1,0 +1,199 @@
+// Package ubscache is a trace-driven CPU front-end simulator built around
+// the Uneven Block Size (UBS) instruction cache of Brunner and Kumar,
+// "Weeding out Front-End Stalls with Uneven Block Size Instruction Cache"
+// (MICRO 2024).
+//
+// The library bundles everything needed to study instruction-cache storage
+// efficiency: synthetic server/client/SPEC workload generators, a hashed
+// perceptron + BTB front end with FDIP prefetching, a generic cache model
+// with pluggable replacement (including GHRP), the UBS cache itself with
+// its useful-byte predictor, the paper's baselines (small-block caches,
+// Line Distillation, ACIC), a Table I out-of-order core model, and an
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	w, _ := ubscache.Workload("server_001")
+//	rep, _ := ubscache.Simulate(ubscache.UBS(), w, ubscache.Quick())
+//	fmt.Printf("IPC %.3f, L1-I MPKI %.1f\n", rep.IPC(), rep.MPKI())
+//
+// See the examples directory and cmd/ubsim, cmd/ubsweep, cmd/tracegen.
+package ubscache
+
+import (
+	"io"
+
+	"ubscache/internal/cache"
+	"ubscache/internal/exp"
+	"ubscache/internal/icache"
+	"ubscache/internal/sim"
+	"ubscache/internal/trace"
+	"ubscache/internal/ubs"
+	"ubscache/internal/workload"
+)
+
+// WorkloadConfig parameterises a synthetic workload (see the workload
+// package docs for the knobs: footprint, hot/cold mixing, branch bias...).
+type WorkloadConfig = workload.Config
+
+// Family identifies a workload category (server, client, spec, google,
+// cvp-server, cvp-int, cvp-fp).
+type Family = workload.Family
+
+// The workload families.
+const (
+	FamilyServer    = workload.FamilyServer
+	FamilyClient    = workload.FamilyClient
+	FamilySPEC      = workload.FamilySPEC
+	FamilyGoogle    = workload.FamilyGoogle
+	FamilyCVPServer = workload.FamilyCVPServer
+	FamilyCVPInt    = workload.FamilyCVPInt
+	FamilyCVPFP     = workload.FamilyCVPFP
+	FamilyX86Server = workload.FamilyX86Server
+)
+
+// Workload resolves a preset workload by name (e.g. "server_003"); see
+// WorkloadNames.
+func Workload(name string) (WorkloadConfig, error) { return workload.ByName(name) }
+
+// WorkloadNames lists the preset workloads of a family.
+func WorkloadNames(f Family) []string { return workload.Names(f) }
+
+// Families lists all workload families.
+func Families() []Family { return workload.Families() }
+
+// NewSource builds the infinite instruction stream of a workload.
+func NewSource(cfg WorkloadConfig) (Source, error) {
+	w, err := workload.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Source is a stream of dynamic instructions.
+type Source = trace.Source
+
+// Instr is one dynamic instruction.
+type Instr = trace.Instr
+
+// OpenTrace opens a UBST trace file as a Source.
+func OpenTrace(path string) (*trace.Reader, error) { return trace.Open(path) }
+
+// WriteTrace materialises up to n instructions of src into a UBST file.
+func WriteTrace(path string, src Source, n uint64) (uint64, error) {
+	return trace.WriteAll(path, trace.NewLimit(src, n))
+}
+
+// Design names an instruction-cache organisation under test.
+type Design struct {
+	Name    string
+	factory sim.FrontendFactory
+}
+
+// Conventional returns a fixed-64B-block L1-I of the given capacity in KB
+// (8 ways, LRU; the kb=32 point is the paper's Table I baseline).
+func Conventional(kb int) Design {
+	if kb == 32 {
+		return Design{"conv-32KB", sim.ConvFactory(icache.Baseline32K())}
+	}
+	return Design{icache.ConvSized(kb << 10).Name, sim.ConvFactory(icache.ConvSized(kb << 10))}
+}
+
+// UBS returns the paper's default Table II UBS cache (a 32KB-class budget).
+func UBS() Design { return Design{"ubs", sim.UBSFactory(ubs.DefaultConfig())} }
+
+// UBSSized returns a UBS cache scaled to roughly kb KB of storage budget.
+func UBSSized(kb int) Design {
+	cfg := ubs.Sized(kb)
+	return Design{cfg.Name, sim.UBSFactory(cfg)}
+}
+
+// UBSCustom wraps an arbitrary UBS configuration.
+func UBSCustom(cfg UBSConfig) Design { return Design{cfg.Name, sim.UBSFactory(cfg)} }
+
+// UBSConfig is the full UBS cache configuration (way sizes, predictor
+// organisation, placement window...).
+type UBSConfig = ubs.Config
+
+// DefaultUBSConfig returns the Table II configuration.
+func DefaultUBSConfig() UBSConfig { return ubs.DefaultConfig() }
+
+// UBSX86 returns the Table II UBS cache in byte-granularity mode for
+// variable-length ISAs (§IV-B/§IV-C: byte bit-vectors, 6-bit offsets).
+func UBSX86() Design {
+	cfg := ubs.DefaultConfig()
+	cfg.Name = "ubs-x86"
+	cfg.OffsetGranule = 1
+	return Design{cfg.Name, sim.UBSFactory(cfg)}
+}
+
+// SmallBlock returns the 16B- or 32B-block baseline of Figure 12.
+func SmallBlock(blockBytes int) Design {
+	if blockBytes == 16 {
+		return Design{"conv-16B-block", sim.SmallBlockFactory(icache.SmallBlock16())}
+	}
+	return Design{"conv-32B-block", sim.SmallBlockFactory(icache.SmallBlock32())}
+}
+
+// LineDistillation returns the Figure 13 Line Distillation baseline.
+func LineDistillation() Design {
+	return Design{"line-distill", sim.DistillFactory(icache.DefaultDistill())}
+}
+
+// GHRP returns the 32KB baseline with GHRP replacement (Figure 13).
+func GHRP() Design {
+	cfg := icache.Baseline32K()
+	cfg.Name = "ghrp"
+	cfg.NewPolicy = cache.NewGHRP
+	return Design{"ghrp", sim.ConvFactory(cfg)}
+}
+
+// ACIC returns the 32KB baseline with admission control (Figure 13).
+func ACIC() Design {
+	cfg := icache.Baseline32K()
+	cfg.Name = "acic"
+	cfg.ACIC = true
+	return Design{"acic", sim.ConvFactory(cfg)}
+}
+
+// Options configure a simulation run.
+type Options = sim.Params
+
+// DefaultOptions returns the Table I system with the harness's scaled-down
+// run lengths (1M warmup + 4M measured instructions).
+func DefaultOptions() Options { return sim.DefaultParams() }
+
+// Quick returns options for fast exploratory runs (200K+800K instructions).
+func Quick() Options {
+	p := sim.DefaultParams()
+	p.Warmup = 200_000
+	p.Measure = 800_000
+	return p
+}
+
+// Report is a simulation result: core timing, cache counters, BPU
+// counters, and periodic storage-efficiency samples.
+type Report = sim.Result
+
+// Simulate runs a workload on a design.
+func Simulate(d Design, w WorkloadConfig, opts Options) (Report, error) {
+	return sim.Run(opts, w, d.Name, d.factory)
+}
+
+// SimulateSource runs an arbitrary instruction source on a design.
+func SimulateSource(d Design, src Source, name string, opts Options) (Report, error) {
+	return sim.RunSource(opts, src, name, d.Name, d.factory)
+}
+
+// ExperimentIDs lists the reproducible paper artifacts (fig1..fig16,
+// table1..table4, cvp) in paper order.
+func ExperimentIDs() []string { return exp.IDs() }
+
+// RunExperiment regenerates one paper artifact and returns its rendered
+// text. perFamily limits workloads per family (0 = all); progress, if
+// non-nil, receives per-run progress lines.
+func RunExperiment(id string, opts Options, perFamily int, progress io.Writer) (string, error) {
+	return exp.RunByID(id, exp.Options{Params: opts, PerFamily: perFamily, Out: progress})
+}

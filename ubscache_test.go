@@ -1,0 +1,146 @@
+package ubscache
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func quickTest() Options {
+	p := Quick()
+	p.Warmup = 50_000
+	p.Measure = 150_000
+	return p
+}
+
+func TestWorkloadResolution(t *testing.T) {
+	w, err := Workload("server_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "server_001" {
+		t.Errorf("name %q", w.Name)
+	}
+	if _, err := Workload("bogus"); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if len(Families()) != 8 {
+		t.Errorf("families: %v", Families())
+	}
+	if len(WorkloadNames(FamilyServer)) == 0 {
+		t.Error("no server workloads")
+	}
+}
+
+func TestSimulateUBSvsBaseline(t *testing.T) {
+	w, err := Workload("server_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Simulate(Conventional(32), w, quickTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Simulate(UBS(), w, quickTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.IPC() <= 0 || u.IPC() <= 0 {
+		t.Fatalf("IPC base=%f ubs=%f", base.IPC(), u.IPC())
+	}
+	// The paper's core claim at the library level: UBS has far better
+	// storage efficiency than the conventional baseline.
+	be := avg(base.EffSamples)
+	ue := avg(u.EffSamples)
+	if ue <= be+0.15 {
+		t.Errorf("UBS efficiency %.2f not clearly above baseline %.2f", ue, be)
+	}
+	if u.UBS == nil {
+		t.Error("UBS report missing extended stats")
+	}
+}
+
+func avg(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if len(v) == 0 {
+		return 0
+	}
+	return s / float64(len(v))
+}
+
+func TestAllDesignsRun(t *testing.T) {
+	w, err := Workload("client_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := []Design{
+		Conventional(16), Conventional(32), Conventional(64),
+		UBS(), UBSSized(20), SmallBlock(16), SmallBlock(32),
+		LineDistillation(), GHRP(), ACIC(),
+		UBSCustom(DefaultUBSConfig()),
+	}
+	opts := quickTest()
+	opts.Warmup = 20_000
+	opts.Measure = 60_000
+	for _, d := range designs {
+		rep, err := Simulate(d, w, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if rep.IPC() <= 0 || rep.IPC() > 4 {
+			t.Errorf("%s: IPC %f implausible", d.Name, rep.IPC())
+		}
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	w, err := Workload("spec_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSource(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.ubst.gz")
+	n, err := WriteTrace(path, src, 50_000)
+	if err != nil || n != 50_000 {
+		t.Fatalf("WriteTrace: %d, %v", n, err)
+	}
+	r, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	opts := quickTest()
+	opts.Warmup = 10_000
+	opts.Measure = 20_000
+	rep, err := SimulateSource(Conventional(32), r, "t", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit is 4-wide, so the run may overshoot by up to 3 instructions.
+	if rep.Core.Instructions < 20_000 || rep.Core.Instructions > 20_003 {
+		t.Errorf("retired %d", rep.Core.Instructions)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 17 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	out, err := RunExperiment("table2", quickTest(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64") {
+		t.Errorf("table2 output:\n%s", out)
+	}
+	if _, err := RunExperiment("nope", quickTest(), 1, nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
