@@ -1,9 +1,17 @@
 // Command ubsweep regenerates the paper's tables and figures. Each
 // experiment id corresponds to one artifact (see DESIGN.md §4):
 //
-//	ubsweep -exp fig10                # UBS / 64KB speedups over 32KB
-//	ubsweep -exp all -per-family 4    # everything, 4 workloads per family
-//	ubsweep -list                     # available experiments
+//	ubsweep -exp fig10                    # UBS / 64KB speedups over 32KB
+//	ubsweep -exp all -per-family 4        # everything, 4 workloads per family
+//	ubsweep -exp all -parallel 8 -v       # 8 concurrent simulations, progress/ETA
+//	ubsweep -spec examples/specs/perf.json -json -out artifacts
+//	ubsweep -list                         # available experiments
+//
+// Simulation points are deduplicated across experiments and run across
+// -parallel workers (internal/runner); rendered tables are byte-identical
+// to a sequential run. -json and -out emit machine-readable results.json
+// and per-experiment CSV/TXT artifacts; -cache persists results on disk
+// so interrupted sweeps resume instead of recomputing.
 //
 // Run lengths default to the scaled-down harness settings; raise -warmup
 // and -measure towards the paper's 50M+50M for full-fidelity runs.
@@ -13,10 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"path/filepath"
 
 	"ubscache/internal/exp"
-	"ubscache/internal/sim"
+	"ubscache/internal/runner"
 )
 
 func main() {
@@ -26,55 +34,87 @@ func main() {
 		perFamily = flag.Int("per-family", 0, "workloads per family (0 = all)")
 		warmup    = flag.Uint64("warmup", 0, "warmup instructions (0 = default)")
 		measure   = flag.Uint64("measure", 0, "measured instructions (0 = default)")
-		verbose   = flag.Bool("v", false, "print per-run progress")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		specPath  = flag.String("spec", "", "sweep spec JSON file (see examples/specs)")
+		outDir    = flag.String("out", "", "directory for per-experiment .txt/.csv artifacts")
+		jsonOut   = flag.Bool("json", false, "write results.json (into -out, or the current directory)")
+		cacheDir  = flag.String("cache", "", "on-disk result cache directory (resumable sweeps)")
+		verbose   = flag.Bool("v", false, "print per-run progress and ETA")
 	)
 	flag.Parse()
 
-	if *list || *expID == "" {
+	if *list || (*expID == "" && *specPath == "") {
 		fmt.Println("experiments:")
 		for _, e := range exp.Registry {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 			fmt.Printf("  %-8s paper: %s\n", "", e.Paper)
 		}
-		if *expID == "" && !*list {
-			fmt.Fprintln(os.Stderr, "\nusage: ubsweep -exp <id|all> [-per-family N] [-warmup N] [-measure N]")
+		if *expID == "" && *specPath == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nusage: ubsweep -exp <id|all> | -spec <file> [-per-family N] [-warmup N] [-measure N] [-parallel N] [-out dir] [-json] [-cache dir]")
 			os.Exit(2)
 		}
 		return
 	}
 
-	params := sim.DefaultParams()
-	if *warmup > 0 {
-		params.Warmup = *warmup
-	}
-	if *measure > 0 {
-		params.Measure = *measure
-	}
-	opts := exp.Options{Params: params, PerFamily: *perFamily}
-	if *verbose {
-		opts.Out = os.Stderr
-	}
-
-	ids := []string{*expID}
-	if *expID == "all" {
-		ids = exp.IDs()
-	}
-	runner := exp.NewRunner(opts)
-	for _, id := range ids {
-		e, err := exp.ByID(id)
+	spec := runner.Spec{}
+	if *specPath != "" {
+		var err error
+		spec, err = runner.LoadSpec(*specPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		t0 := time.Now()
-		out, err := e.Run(runner)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+	}
+	// Command-line flags override the spec file.
+	if *expID != "" {
+		spec.Experiments = []string{*expID}
+	}
+	if *perFamily > 0 {
+		spec.PerFamily = *perFamily
+	}
+	if *parallel > 0 {
+		spec.Parallel = *parallel
+	}
+	if *warmup > 0 {
+		spec.Params.Warmup = *warmup
+	}
+	if *measure > 0 {
+		spec.Params.Measure = *measure
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	resultsPath := ""
+	if *jsonOut {
+		dir := *outDir
+		if dir == "" {
+			dir = "."
 		}
-		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
-		fmt.Printf("--- paper: %s\n", e.Paper)
-		fmt.Println(out)
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+		resultsPath = filepath.Join(dir, "results.json")
+	}
+	sw := &runner.Sweep{
+		Spec:        spec,
+		Store:       runner.NewStore(*cacheDir),
+		ArtifactDir: *outDir,
+		ResultsPath: resultsPath,
+	}
+	if *verbose {
+		sw.Progress = os.Stderr
+	}
+	outc, err := sw.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, eo := range outc.Experiments {
+		fmt.Printf("=== %s — %s\n", eo.Experiment.ID, eo.Experiment.Title)
+		fmt.Printf("--- paper: %s\n", eo.Experiment.Paper)
+		fmt.Println(eo.Output)
+		fmt.Printf("(%s in %.1fs)\n\n", eo.Experiment.ID, eo.Seconds)
+	}
+	if *verbose && resultsPath != "" {
+		fmt.Fprintf(os.Stderr, "runner: wrote %s (%d runs)\n", resultsPath, len(outc.Results.Runs))
 	}
 }

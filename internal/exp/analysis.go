@@ -17,6 +17,41 @@ func (r *Runner) functionalInstrs() uint64 {
 	return p.Warmup + p.Measure
 }
 
+// fig1Hist memoizes fig1Pass per workload through the aux layer so sweeps
+// can capture and schedule the passes in parallel.
+func (r *Runner) fig1Hist(wcfg workload.Config) (*stats.Histogram, error) {
+	v, err := r.auxRun("fig1|"+wcfg.Name, func() (interface{}, error) {
+		r.Opts.progress("  fig1 pass: %s", wcfg.Name)
+		return fig1Pass(wcfg, r.functionalInstrs())
+	})
+	if err != nil || v == nil {
+		return stats.NewHistogram(16), err
+	}
+	return v.(*stats.Histogram), nil
+}
+
+// fig4Result bundles one workload's fig4Pass outcome.
+type fig4Result struct {
+	Fracs     [4]float64
+	Evictions int
+}
+
+// fig4Res memoizes fig4Pass per workload through the aux layer.
+func (r *Runner) fig4Res(wcfg workload.Config) (fig4Result, error) {
+	v, err := r.auxRun("fig4|"+wcfg.Name, func() (interface{}, error) {
+		r.Opts.progress("  fig4 pass: %s", wcfg.Name)
+		fr, ev, err := fig4Pass(wcfg, r.functionalInstrs())
+		if err != nil {
+			return nil, err
+		}
+		return fig4Result{Fracs: fr, Evictions: ev}, nil
+	})
+	if err != nil || v == nil {
+		return fig4Result{}, err
+	}
+	return v.(fig4Result), nil
+}
+
 // fig1Pass streams a workload's demand fetches through a 32KB baseline
 // L1-I and histograms the number of accessed 4B units per block at
 // eviction time — the Figure 1 measurement.
@@ -52,8 +87,7 @@ func init() {
 			for _, fam := range allFamilies {
 				merged := stats.NewHistogram(16)
 				for _, wcfg := range r.workloads(fam) {
-					r.Opts.progress("  fig1 pass: %s", wcfg.Name)
-					h, err := fig1Pass(wcfg, r.functionalInstrs())
+					h, err := r.fig1Hist(wcfg)
 					if err != nil {
 						return "", err
 					}
@@ -219,16 +253,15 @@ func init() {
 				var sum [4]float64
 				n := 0
 				for _, wcfg := range r.workloads(fam) {
-					r.Opts.progress("  fig4 pass: %s", wcfg.Name)
-					fr, ev, err := fig4Pass(wcfg, r.functionalInstrs())
+					fr, err := r.fig4Res(wcfg)
 					if err != nil {
 						return "", err
 					}
-					if ev == 0 {
+					if fr.Evictions == 0 {
 						continue
 					}
 					for k := range sum {
-						sum[k] += fr[k]
+						sum[k] += fr.Fracs[k]
 					}
 					n++
 				}

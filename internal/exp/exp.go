@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"ubscache/internal/bpu"
 	"ubscache/internal/icache"
 	"ubscache/internal/sim"
 	"ubscache/internal/ubs"
@@ -20,20 +21,51 @@ import (
 
 // Options control an experiment run.
 type Options struct {
-	// Params configures the simulated system; zero value takes
-	// sim.DefaultParams with the scaled-down run lengths.
+	// Params configures the simulated system. Zero-valued fields are
+	// normalised field-by-field against sim.DefaultParams (see params);
+	// the zero value is exactly sim.DefaultParams.
 	Params sim.Params
 	// PerFamily limits the number of workloads per family (0 = all).
 	PerFamily int
 	// Out receives progress lines; nil silences progress.
 	Out io.Writer
+	// Exec, when non-nil, executes simulation points in place of direct
+	// sim.Run calls. The runner subsystem injects its parallel memoizing
+	// store here; p is already normalised.
+	Exec func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
 }
 
+// params returns Opts.Params normalised field-by-field: zero-valued
+// configuration sections (Core, Hierarchy, L1D, BPU) and zero run lengths
+// (Warmup, Measure) take their sim.DefaultParams values while explicitly
+// set fields are preserved. DataCache and SampleInterval are kept verbatim
+// — false/0 are meaningful settings (L1-D modelling off, sampling off) —
+// unless the whole struct is zero, which means sim.DefaultParams.
 func (o Options) params() sim.Params {
-	if o.Params.Measure == 0 {
-		return sim.DefaultParams()
+	p := o.Params
+	d := sim.DefaultParams()
+	if p == (sim.Params{}) {
+		return d
 	}
-	return o.Params
+	if p.Core.FetchWidth == 0 {
+		p.Core = d.Core
+	}
+	if p.Hierarchy.BlockSize == 0 {
+		p.Hierarchy = d.Hierarchy
+	}
+	if p.L1D.Sets == 0 {
+		p.L1D = d.L1D
+	}
+	if p.BPU == (bpu.Config{}) {
+		p.BPU = d.BPU
+	}
+	if p.Warmup == 0 {
+		p.Warmup = d.Warmup
+	}
+	if p.Measure == 0 {
+		p.Measure = d.Measure
+	}
+	return p
 }
 
 func (o Options) progress(format string, args ...interface{}) {
@@ -73,6 +105,24 @@ func ByID(id string) (Experiment, error) {
 		id, strings.Join(ids, ", "))
 }
 
+// SimPoint is one (params, workload, design) timed simulation an
+// experiment requests. Factory rebuilds the design under test.
+type SimPoint struct {
+	Params   sim.Params
+	Workload workload.Config
+	Design   string
+	Factory  sim.FrontendFactory
+}
+
+// AuxPoint is one functional (timing-free) analysis pass — a Figure 1/4
+// style cache walk — captured during a dry run. Run executes the pass and
+// memoizes its result on the Runner it was captured from; points with
+// distinct keys are safe to run concurrently.
+type AuxPoint struct {
+	Key string
+	Run func() error
+}
+
 // Runner memoizes simulation results so experiments sharing design points
 // (e.g. fig8/fig9/fig10 all need conv32/conv64/UBS on the IPC-1 families)
 // run each (workload, design) pair once.
@@ -81,11 +131,45 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[string]sim.Result
+	aux   map[string]interface{}
+
+	// Capture state; dry runs are single-goroutine.
+	capturing bool
+	simSeen   map[string]bool
+	auxSeen   map[string]bool
+	sims      []SimPoint
+	auxes     []AuxPoint
 }
 
 // NewRunner builds a Runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{Opts: opts, cache: make(map[string]sim.Result)}
+	return &Runner{
+		Opts:  opts,
+		cache: make(map[string]sim.Result),
+		aux:   make(map[string]interface{}),
+	}
+}
+
+// Capture dry-runs e, recording every simulation point and functional
+// pass its rendering requests without executing any of them (rendered
+// output of the dry run is discarded). The returned slices are in
+// first-request order with duplicates removed. Capture must not be called
+// concurrently with itself or with rendering on the same Runner; results
+// already memoized are unaffected.
+func (r *Runner) Capture(e Experiment) (sims []SimPoint, aux []AuxPoint, err error) {
+	r.capturing = true
+	r.simSeen = make(map[string]bool)
+	r.auxSeen = make(map[string]bool)
+	r.sims, r.auxes = nil, nil
+	defer func() {
+		r.capturing = false
+		r.simSeen, r.auxSeen = nil, nil
+		r.sims, r.auxes = nil, nil
+	}()
+	if _, err := e.Run(r); err != nil {
+		return nil, nil, fmt.Errorf("exp: capturing %s: %w", e.ID, err)
+	}
+	return r.sims, r.auxes, nil
 }
 
 // workloads returns the configs of a family honouring PerFamily.
@@ -105,9 +189,22 @@ func (r *Runner) workloads(f workload.Family) []workload.Config {
 	return out
 }
 
-// run simulates (workload, design), memoized.
+// run simulates (workload, design), memoized. In capture mode the point is
+// recorded and a zero result returned instead; experiment rendering code
+// must therefore tolerate zero results (it does: the dry-run output is
+// thrown away).
 func (r *Runner) run(wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
 	key := wcfg.Name + "|" + design
+	if r.capturing {
+		if !r.simSeen[key] {
+			r.simSeen[key] = true
+			r.sims = append(r.sims, SimPoint{
+				Params: r.Opts.params(), Workload: wcfg,
+				Design: design, Factory: factory,
+			})
+		}
+		return sim.Result{Workload: wcfg.Name, Design: design}, nil
+	}
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -115,7 +212,15 @@ func (r *Runner) run(wcfg workload.Config, design string, factory sim.FrontendFa
 	}
 	r.mu.Unlock()
 	r.Opts.progress("  running %s on %s ...", wcfg.Name, design)
-	res, err := sim.Run(r.Opts.params(), wcfg, design, factory)
+	var (
+		res sim.Result
+		err error
+	)
+	if r.Opts.Exec != nil {
+		res, err = r.Opts.Exec(r.Opts.params(), wcfg, design, factory)
+	} else {
+		res, err = sim.Run(r.Opts.params(), wcfg, design, factory)
+	}
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -123,6 +228,36 @@ func (r *Runner) run(wcfg workload.Config, design string, factory sim.FrontendFa
 	r.cache[key] = res
 	r.mu.Unlock()
 	return res, nil
+}
+
+// auxRun memoizes a functional analysis pass under key. In capture mode
+// the pass is recorded for the scheduler and skipped, returning (nil, nil);
+// callers substitute an empty result for the discarded dry-run rendering.
+func (r *Runner) auxRun(key string, f func() (interface{}, error)) (interface{}, error) {
+	if r.capturing {
+		if !r.auxSeen[key] {
+			r.auxSeen[key] = true
+			r.auxes = append(r.auxes, AuxPoint{Key: key, Run: func() error {
+				_, err := r.auxRun(key, f)
+				return err
+			}})
+		}
+		return nil, nil
+	}
+	r.mu.Lock()
+	if v, ok := r.aux[key]; ok {
+		r.mu.Unlock()
+		return v, nil
+	}
+	r.mu.Unlock()
+	v, err := f()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.aux[key] = v
+	r.mu.Unlock()
+	return v, nil
 }
 
 // Design couples a name with its factory; the standard comparison points.

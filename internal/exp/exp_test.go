@@ -136,6 +136,121 @@ func TestRunnerMemoizes(t *testing.T) {
 	}
 }
 
+// TestParamsPartialOverride is the regression test for the Options.params()
+// footgun: a custom Params that sets some fields but leaves Measure (or any
+// other field) zero used to be replaced wholesale with DefaultParams,
+// silently discarding the caller's overrides.
+func TestParamsPartialOverride(t *testing.T) {
+	d := sim.DefaultParams()
+
+	// Zero Options still means "all defaults".
+	if got := (Options{}).params(); got != d {
+		t.Errorf("zero options params = %+v", got)
+	}
+
+	// Custom Warmup + Core with Measure unset: both customizations must
+	// survive, and only the unset fields pick up defaults.
+	var p sim.Params
+	p.Warmup = 123_456
+	p.Core = d.Core
+	p.Core.ROBSize = 512
+	got := Options{Params: p}.params()
+	if got.Warmup != 123_456 {
+		t.Errorf("custom warmup discarded: %d", got.Warmup)
+	}
+	if got.Core.ROBSize != 512 {
+		t.Errorf("custom core config discarded: %+v", got.Core)
+	}
+	if got.Measure != d.Measure {
+		t.Errorf("unset measure not defaulted: %d", got.Measure)
+	}
+	if got.Hierarchy != d.Hierarchy || got.L1D != d.L1D || got.BPU != d.BPU {
+		t.Errorf("unset sections not defaulted: %+v", got)
+	}
+	// DataCache is kept verbatim (false is a meaningful setting, so it
+	// cannot double as "unset"); callers wanting the default start from
+	// sim.DefaultParams() and tweak.
+	if got.DataCache {
+		t.Error("DataCache should be kept verbatim, not defaulted")
+	}
+
+	// The documented pitfall from the issue: only Measure customized.
+	var p2 sim.Params
+	p2.Measure = 42_000
+	if got := (Options{Params: p2}.params()); got.Measure != 42_000 {
+		t.Errorf("custom measure discarded: %d", got.Measure)
+	}
+}
+
+// TestCaptureTimedExperiment: capturing fig10 with one workload per family
+// yields the 9 simulation points (3 families × 3 designs) without running
+// any simulation or polluting the runner's result cache.
+func TestCaptureTimedExperiment(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	e, err := ByID("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims, auxes, err := r.Capture(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != 9 {
+		t.Fatalf("fig10 captured %d sim points, want 9", len(sims))
+	}
+	if len(auxes) != 0 {
+		t.Errorf("fig10 captured %d aux points, want 0", len(auxes))
+	}
+	designs := map[string]int{}
+	for _, sp := range sims {
+		designs[sp.Design]++
+		if sp.Params.Warmup != tinyOpts().Params.Warmup {
+			t.Errorf("captured params drifted: %+v", sp.Params)
+		}
+		if sp.Factory == nil || sp.Workload.Name == "" {
+			t.Errorf("incomplete point: %+v", sp)
+		}
+	}
+	for _, d := range []string{"conv-32KB", "conv-64KB", "ubs"} {
+		if designs[d] != 3 {
+			t.Errorf("design %s captured %d times, want 3", d, designs[d])
+		}
+	}
+	if len(r.cache) != 0 {
+		t.Errorf("capture polluted the result cache (%d entries)", len(r.cache))
+	}
+	if r.capturing {
+		t.Error("capture mode left enabled")
+	}
+}
+
+// TestCaptureFunctionalExperiment: fig1 is all functional passes — capture
+// must surface them as aux points (one per workload) and no sim points.
+func TestCaptureFunctionalExperiment(t *testing.T) {
+	r := NewRunner(tinyOpts())
+	e, err := ByID("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims, auxes, err := r.Capture(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != 0 {
+		t.Errorf("fig1 captured %d sim points, want 0", len(sims))
+	}
+	if len(auxes) != 4 {
+		t.Fatalf("fig1 captured %d aux points, want 4 (one per family)", len(auxes))
+	}
+	// Running a captured aux point memoizes it for the later real render.
+	if err := auxes[0].Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.aux) != 1 {
+		t.Errorf("aux run not memoized (%d entries)", len(r.aux))
+	}
+}
+
 func TestCoverage(t *testing.T) {
 	if coverage(0, 5) != 0 {
 		t.Error("zero-base coverage")

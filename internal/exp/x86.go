@@ -58,7 +58,7 @@ func init() {
 			// functional pass with byte-granular accounting.
 			hist := stats.NewHistogram(64)
 			for _, wcfg := range r.workloads(workload.FamilyX86Server) {
-				h, err := x86Fig1Pass(wcfg, r.functionalInstrs())
+				h, err := r.x86Fig1Hist(wcfg)
 				if err != nil {
 					return "", err
 				}
@@ -72,6 +72,18 @@ func init() {
 			return tb.String() + "\n" + eff.String() + "\n" + cdfLine + "\n", nil
 		},
 	})
+}
+
+// x86Fig1Hist memoizes x86Fig1Pass per workload through the aux layer.
+func (r *Runner) x86Fig1Hist(wcfg workload.Config) (*stats.Histogram, error) {
+	v, err := r.auxRun("x86fig1|"+wcfg.Name, func() (interface{}, error) {
+		r.Opts.progress("  x86 fig1 pass: %s", wcfg.Name)
+		return x86Fig1Pass(wcfg, r.functionalInstrs())
+	})
+	if err != nil || v == nil {
+		return stats.NewHistogram(64), err
+	}
+	return v.(*stats.Histogram), nil
 }
 
 // x86Fig1Pass is fig1Pass with byte-granular accounting (Unit=1).

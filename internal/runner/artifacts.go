@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ubscache/internal/sim"
+	"ubscache/internal/stats"
+)
+
+// RunRecord is one simulation's machine-readable summary — an entry of
+// the results.json "runs" array (schema in DESIGN.md §4.1).
+type RunRecord struct {
+	Key          string   `json:"key"`
+	Workload     string   `json:"workload"`
+	Family       string   `json:"family"`
+	Design       string   `json:"design"`
+	Warmup       uint64   `json:"warmup"`
+	Measure      uint64   `json:"measure"`
+	Cycles       uint64   `json:"cycles"`
+	Instructions uint64   `json:"instructions"`
+	IPC          float64  `json:"ipc"`
+	L1IMPKI      float64  `json:"l1i_mpki"`
+	BranchMPKI   float64  `json:"branch_mpki"`
+	StallCycles  uint64   `json:"icache_stall_cycles"`
+	StallFrac    float64  `json:"frontend_stall_fraction"`
+	Efficiency   float64  `json:"storage_efficiency_mean"`
+	Seconds      float64  `json:"seconds"`
+	FromCache    bool     `json:"from_cache"`
+	Experiments  []string `json:"experiments"`
+}
+
+// ExperimentRecord summarises one experiment in results.json.
+type ExperimentRecord struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Paper string `json:"paper"`
+	// SimSeconds sums the wall-clock of this experiment's simulation
+	// points (shared points are attributed to every experiment using
+	// them); RenderSeconds is the table-formatting time.
+	SimSeconds    float64 `json:"sim_seconds"`
+	RenderSeconds float64 `json:"render_seconds"`
+	// Runs lists the keys of this experiment's simulation points in
+	// request order, indexing the top-level runs array.
+	Runs []string `json:"runs"`
+}
+
+// ResultsFile is the results.json schema.
+type ResultsFile struct {
+	Schema      int                `json:"schema"`
+	Spec        Spec               `json:"spec"`
+	Workers     int                `json:"workers"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Experiments []ExperimentRecord `json:"experiments"`
+	Runs        []RunRecord        `json:"runs"`
+}
+
+// record builds a RunRecord from a completed simulation point.
+func record(key string, p sim.Params, res sim.Result, meta RunMeta, experiments []string) RunRecord {
+	return RunRecord{
+		Key:          key,
+		Workload:     res.Workload,
+		Family:       familyOf(res.Workload),
+		Design:       res.Design,
+		Warmup:       p.Warmup,
+		Measure:      p.Measure,
+		Cycles:       res.Core.Cycles,
+		Instructions: res.Core.Instructions,
+		IPC:          res.IPC(),
+		L1IMPKI:      res.MPKI(),
+		BranchMPKI:   res.BPU.MPKI(res.Core.Instructions),
+		StallCycles:  res.StallCycles(),
+		StallFrac:    res.Core.FrontEndStallFraction(),
+		Efficiency:   stats.Mean(res.EffSamples),
+		Seconds:      meta.Seconds,
+		FromCache:    meta.Disk,
+		Experiments:  experiments,
+	}
+}
+
+// familyOf derives the workload family from a preset name ("server_003"
+// -> "server"); names without the preset shape map to themselves.
+func familyOf(name string) string {
+	if i := strings.LastIndex(name, "_"); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteResults writes the results.json artifact atomically.
+func WriteResults(path string, rf *ResultsFile) error {
+	data, err := json.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: results: %w", err)
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// csvHeader matches RunRecord's JSON field order.
+var csvHeader = []string{
+	"key", "workload", "family", "design", "warmup", "measure",
+	"cycles", "instructions", "ipc", "l1i_mpki", "branch_mpki",
+	"icache_stall_cycles", "frontend_stall_fraction",
+	"storage_efficiency_mean", "seconds", "from_cache",
+}
+
+// WriteCSV writes one experiment's simulation points as CSV.
+func WriteCSV(path string, records []RunRecord) error {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			r.Key, r.Workload, r.Family, r.Design,
+			strconv.FormatUint(r.Warmup, 10), strconv.FormatUint(r.Measure, 10),
+			strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.Instructions, 10),
+			strconv.FormatFloat(r.IPC, 'f', 6, 64),
+			strconv.FormatFloat(r.L1IMPKI, 'f', 4, 64),
+			strconv.FormatFloat(r.BranchMPKI, 'f', 4, 64),
+			strconv.FormatUint(r.StallCycles, 10),
+			strconv.FormatFloat(r.StallFrac, 'f', 6, 64),
+			strconv.FormatFloat(r.Efficiency, 'f', 6, 64),
+			strconv.FormatFloat(r.Seconds, 'f', 3, 64),
+			strconv.FormatBool(r.FromCache),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return writeFileAtomic(path, []byte(b.String()))
+}
+
+// writeFileAtomic writes via a temp file + rename so interrupted sweeps
+// never leave half-written artifacts.
+func writeFileAtomic(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

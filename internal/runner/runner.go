@@ -1,0 +1,189 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"ubscache/internal/exp"
+)
+
+// Sweep runs a Spec end to end. Execution has four phases:
+//
+//  1. capture — every selected experiment is dry-run to discover the
+//     simulation points and functional passes it will request;
+//  2. warm — the globally deduplicated points execute across the worker
+//     pool into the Store;
+//  3. render — experiments run sequentially in paper order against the
+//     warm store, so the rendered tables are byte-identical to a serial
+//     run regardless of the worker count;
+//  4. artifacts — results.json and per-experiment .txt/.csv files.
+type Sweep struct {
+	Spec Spec
+	// Store memoizes simulation results; nil means a fresh in-memory one.
+	Store *Store
+	// Progress receives scheduler progress/ETA lines; nil silences them.
+	Progress io.Writer
+	// ArtifactDir, when non-empty, receives <id>.txt and <id>.csv per
+	// experiment.
+	ArtifactDir string
+	// ResultsPath, when non-empty, receives the results.json artifact.
+	ResultsPath string
+}
+
+// ExperimentOutcome is one rendered experiment.
+type ExperimentOutcome struct {
+	Experiment exp.Experiment
+	Output     string
+	// Seconds is the attributed cost: this experiment's simulation time
+	// (shared points attributed to every user) plus rendering time.
+	Seconds float64
+}
+
+// Outcome is a completed sweep.
+type Outcome struct {
+	Experiments []ExperimentOutcome
+	Results     ResultsFile
+}
+
+type expPlan struct {
+	e    exp.Experiment
+	sims []exp.SimPoint
+	keys []string // sims' store keys, same order
+	aux  []exp.AuxPoint
+}
+
+// Run executes the sweep.
+func (sw *Sweep) Run() (*Outcome, error) {
+	start := time.Now()
+	store := sw.Store
+	if store == nil {
+		store = NewStore("")
+	}
+	r := exp.NewRunner(exp.Options{
+		Params:    sw.Spec.SimParams(),
+		PerFamily: sw.Spec.PerFamily,
+		Exec:      store.Run,
+	})
+
+	// Phase 1: capture. Points are deduplicated across experiments by
+	// content key; first-seen order fixes the schedule and the order of
+	// the results.json runs array.
+	ids := sw.Spec.IDs()
+	plans := make([]expPlan, 0, len(ids))
+	var (
+		tasks   []Task
+		order   []string
+		points  = make(map[string]exp.SimPoint)
+		usedBy  = make(map[string][]string)
+		auxSeen = make(map[string]bool)
+	)
+	for _, id := range ids {
+		e, err := exp.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		sims, aux, err := r.Capture(e)
+		if err != nil {
+			return nil, err
+		}
+		pl := expPlan{e: e, sims: sims, aux: aux}
+		for _, pt := range sims {
+			key := Key(pt.Params, pt.Workload, pt.Design)
+			pl.keys = append(pl.keys, key)
+			if _, ok := points[key]; !ok {
+				points[key] = pt
+				order = append(order, key)
+				pt := pt
+				tasks = append(tasks, Task{
+					Name: pt.Workload.Name + "/" + pt.Design,
+					Run: func() error {
+						_, err := store.Run(pt.Params, pt.Workload, pt.Design, pt.Factory)
+						return err
+					},
+				})
+			}
+			usedBy[key] = append(usedBy[key], id)
+		}
+		for _, ax := range aux {
+			if auxSeen[ax.Key] {
+				continue
+			}
+			auxSeen[ax.Key] = true
+			tasks = append(tasks, Task{Name: ax.Key, Run: ax.Run})
+		}
+		plans = append(plans, pl)
+	}
+
+	// Phase 2: warm the store across the pool.
+	workers := sw.Spec.Workers()
+	if sw.Progress != nil {
+		fmt.Fprintf(sw.Progress, "runner: %d experiment(s) -> %d unique run(s) on %d worker(s)\n",
+			len(ids), len(tasks), workers)
+	}
+	sched := &Scheduler{Workers: workers, Progress: sw.Progress}
+	if err := sched.Run(tasks); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: render sequentially — pure formatting against warm caches.
+	out := &Outcome{}
+	rf := ResultsFile{Schema: 1, Spec: sw.Spec, Workers: workers}
+	for _, pl := range plans {
+		t0 := time.Now()
+		text, err := pl.e.Run(r)
+		if err != nil {
+			return nil, fmt.Errorf("runner: %s: %w", pl.e.ID, err)
+		}
+		render := time.Since(t0).Seconds()
+		simSec := 0.0
+		for _, key := range pl.keys {
+			simSec += store.Meta(key).Seconds
+		}
+		out.Experiments = append(out.Experiments, ExperimentOutcome{
+			Experiment: pl.e, Output: text, Seconds: simSec + render,
+		})
+		rf.Experiments = append(rf.Experiments, ExperimentRecord{
+			ID: pl.e.ID, Title: pl.e.Title, Paper: pl.e.Paper,
+			SimSeconds: simSec, RenderSeconds: render, Runs: pl.keys,
+		})
+	}
+
+	// Phase 4: artifacts.
+	byKey := make(map[string]RunRecord, len(order))
+	for _, key := range order {
+		pt := points[key]
+		res, ok := store.Result(key)
+		if !ok {
+			return nil, fmt.Errorf("runner: point %s missing after warm phase", key)
+		}
+		rec := record(key, pt.Params, res, store.Meta(key), usedBy[key])
+		byKey[key] = rec
+		rf.Runs = append(rf.Runs, rec)
+	}
+	rf.WallSeconds = time.Since(start).Seconds()
+	out.Results = rf
+
+	if sw.ArtifactDir != "" {
+		for i, pl := range plans {
+			txt := filepath.Join(sw.ArtifactDir, pl.e.ID+".txt")
+			if err := writeFileAtomic(txt, []byte(out.Experiments[i].Output+"\n")); err != nil {
+				return nil, err
+			}
+			recs := make([]RunRecord, 0, len(pl.keys))
+			for _, key := range pl.keys {
+				recs = append(recs, byKey[key])
+			}
+			if err := WriteCSV(filepath.Join(sw.ArtifactDir, pl.e.ID+".csv"), recs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sw.ResultsPath != "" {
+		if err := WriteResults(sw.ResultsPath, &rf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one schedulable unit of sweep work.
+type Task struct {
+	Name string
+	Run  func() error
+}
+
+// Scheduler executes tasks on a bounded worker pool with per-task panic
+// isolation and a progress/ETA reporter.
+type Scheduler struct {
+	// Workers is the pool size (0 = GOMAXPROCS).
+	Workers int
+	// Progress receives one completion line per task; nil silences it.
+	Progress io.Writer
+}
+
+// Run executes every task and returns the joined errors. A failing or
+// panicking task does not stop the others.
+func (s *Scheduler) Run(tasks []Task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		done  int
+		errs  = make([]error, len(tasks))
+		start = time.Now()
+		ch    = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				t0 := time.Now()
+				errs[i] = runTask(tasks[i])
+				mu.Lock()
+				done++
+				if s.Progress != nil {
+					elapsed := time.Since(start)
+					line := fmt.Sprintf("  [%3d/%3d] %-32s %6.1fs", done, len(tasks),
+						tasks[i].Name, time.Since(t0).Seconds())
+					if done < len(tasks) {
+						eta := elapsed / time.Duration(done) * time.Duration(len(tasks)-done)
+						line += fmt.Sprintf("  (elapsed %s, ETA %s)",
+							elapsed.Round(time.Second), eta.Round(time.Second))
+					} else {
+						line += fmt.Sprintf("  (total %s)", elapsed.Round(time.Second))
+					}
+					fmt.Fprintln(s.Progress, line)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range tasks {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// runTask converts a task panic into an error so the pool survives it.
+func runTask(t Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: task %s panicked: %v", t.Name, r)
+		}
+	}()
+	return t.Run()
+}

@@ -1,0 +1,93 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerBoundedConcurrency: the pool never runs more tasks at once
+// than Workers, and still completes all of them.
+func TestSchedulerBoundedConcurrency(t *testing.T) {
+	const workers, n = 3, 24
+	var active, peak, done atomic.Int64
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Name: fmt.Sprintf("t%d", i), Run: func() error {
+			cur := active.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			active.Add(-1)
+			done.Add(1)
+			return nil
+		}}
+	}
+	s := &Scheduler{Workers: workers}
+	if err := s.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != n {
+		t.Fatalf("ran %d/%d tasks", done.Load(), n)
+	}
+	if peak.Load() > workers {
+		t.Fatalf("observed %d concurrent tasks with %d workers", peak.Load(), workers)
+	}
+}
+
+// TestSchedulerPanicAndErrorIsolation: failing tasks do not stop the
+// rest, and every failure is reported in the joined error.
+func TestSchedulerPanicAndErrorIsolation(t *testing.T) {
+	var ran atomic.Int64
+	tasks := []Task{
+		{Name: "ok1", Run: func() error { ran.Add(1); return nil }},
+		{Name: "boom", Run: func() error { panic("kaput") }},
+		{Name: "fail", Run: func() error { return fmt.Errorf("broken point") }},
+		{Name: "ok2", Run: func() error { ran.Add(1); return nil }},
+	}
+	s := &Scheduler{Workers: 2}
+	err := s.Run(tasks)
+	if err == nil {
+		t.Fatal("errors were swallowed")
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("healthy tasks ran %d/2 times", ran.Load())
+	}
+	for _, want := range []string{"boom", "kaput", "broken point"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestSchedulerProgressETA(t *testing.T) {
+	var buf strings.Builder
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Name: fmt.Sprintf("point%d", i), Run: func() error { return nil }}
+	}
+	s := &Scheduler{Workers: 2, Progress: &buf}
+	if err := s.Run(tasks); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[  4/  4]") {
+		t.Errorf("missing completion counter:\n%s", out)
+	}
+	if !strings.Contains(out, "ETA") || !strings.Contains(out, "total") {
+		t.Errorf("missing ETA/total reporting:\n%s", out)
+	}
+}
+
+func TestSchedulerEmpty(t *testing.T) {
+	s := &Scheduler{}
+	if err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}

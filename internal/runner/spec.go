@@ -1,0 +1,128 @@
+// Package runner orchestrates experiment sweeps end to end: a declarative
+// sweep spec selects experiments and parameters; a dry-run capture expands
+// them into deduplicated (workload, design) simulation points; a bounded
+// worker pool executes the points with per-run panic isolation and a
+// progress/ETA reporter; and a memoizing results store — keyed by a
+// content hash and optionally persisted on disk for resumable sweeps —
+// feeds both the byte-exact rendered tables and the machine-readable
+// artifacts (results.json, per-experiment CSV). See DESIGN.md §4.1.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"ubscache/internal/exp"
+	"ubscache/internal/sim"
+)
+
+// Spec declares a sweep. The zero value means "every registered
+// experiment with default parameters on all workloads".
+type Spec struct {
+	// Experiments lists experiment ids (exp.Registry); empty, or any
+	// element equal to "all", selects every experiment in paper order.
+	Experiments []string `json:"experiments,omitempty"`
+	// PerFamily caps workloads per family (0 = all).
+	PerFamily int `json:"per_family,omitempty"`
+	// Parallel is the worker count (0 = GOMAXPROCS).
+	Parallel int `json:"parallel,omitempty"`
+	// Params overrides simulation parameters.
+	Params ParamSpec `json:"params,omitempty"`
+}
+
+// ParamSpec is the JSON-facing subset of sim.Params. Zero-valued fields
+// keep their sim.DefaultParams values; SampleInterval and DataCache are
+// pointers because 0/false are meaningful overrides (sampling off, no
+// L1-D model).
+type ParamSpec struct {
+	// Warmup and Measure are instruction counts; the paper's full-fidelity
+	// setting is 50M+50M (§V).
+	Warmup  uint64 `json:"warmup,omitempty"`
+	Measure uint64 `json:"measure,omitempty"`
+	// SampleInterval is the storage-efficiency sampling period in cycles.
+	SampleInterval *uint64 `json:"sample_interval,omitempty"`
+	// DataCache toggles L1-D/backend memory modelling.
+	DataCache *bool `json:"data_cache,omitempty"`
+}
+
+// LoadSpec reads a JSON sweep spec, rejecting unknown fields.
+func LoadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("runner: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("runner: spec %s: %w", path, err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("runner: spec %s: trailing data after JSON object", path)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("runner: spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the spec against the experiment registry.
+func (s Spec) Validate() error {
+	for _, id := range s.Experiments {
+		if id == "all" {
+			continue
+		}
+		if _, err := exp.ByID(id); err != nil {
+			return err
+		}
+	}
+	if s.PerFamily < 0 {
+		return fmt.Errorf("runner: negative per_family %d", s.PerFamily)
+	}
+	if s.Parallel < 0 {
+		return fmt.Errorf("runner: negative parallel %d", s.Parallel)
+	}
+	return nil
+}
+
+// IDs resolves the experiment selection to concrete ids in paper order.
+func (s Spec) IDs() []string {
+	if len(s.Experiments) == 0 {
+		return exp.IDs()
+	}
+	for _, id := range s.Experiments {
+		if id == "all" {
+			return exp.IDs()
+		}
+	}
+	return append([]string(nil), s.Experiments...)
+}
+
+// SimParams materialises the parameter overrides over sim.DefaultParams.
+func (s Spec) SimParams() sim.Params {
+	p := sim.DefaultParams()
+	if s.Params.Warmup > 0 {
+		p.Warmup = s.Params.Warmup
+	}
+	if s.Params.Measure > 0 {
+		p.Measure = s.Params.Measure
+	}
+	if s.Params.SampleInterval != nil {
+		p.SampleInterval = *s.Params.SampleInterval
+	}
+	if s.Params.DataCache != nil {
+		p.DataCache = *s.Params.DataCache
+	}
+	return p
+}
+
+// Workers resolves Parallel to a concrete worker count.
+func (s Spec) Workers() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ubscache/internal/exp"
+	"ubscache/internal/sim"
+)
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSpec(t *testing.T) {
+	path := writeSpec(t, `{
+		"experiments": ["fig9", "fig10"],
+		"per_family": 2,
+		"parallel": 4,
+		"params": {"warmup": 100000, "measure": 400000, "sample_interval": 0}
+	}`)
+	s, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.IDs(), []string{"fig9", "fig10"}) {
+		t.Errorf("ids = %v", s.IDs())
+	}
+	if s.PerFamily != 2 || s.Workers() != 4 {
+		t.Errorf("per_family=%d workers=%d", s.PerFamily, s.Workers())
+	}
+	p := s.SimParams()
+	if p.Warmup != 100_000 || p.Measure != 400_000 {
+		t.Errorf("run lengths not applied: %+v", p)
+	}
+	if p.SampleInterval != 0 {
+		t.Errorf("explicit sample_interval 0 ignored: %d", p.SampleInterval)
+	}
+	if !p.DataCache {
+		t.Error("absent data_cache should keep the default (true)")
+	}
+	// Unset fields keep defaults.
+	if p.Core != sim.DefaultParams().Core {
+		t.Error("core config drifted from defaults")
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown experiment": `{"experiments": ["figNaN"]}`,
+		"unknown field":      `{"experimints": ["fig9"]}`,
+		"negative parallel":  `{"parallel": -2}`,
+		"trailing data":      `{"experiments": ["fig9"]} {"again": 1}`,
+		"not json":           `per_family: 3`,
+	}
+	for name, body := range cases {
+		if _, err := LoadSpec(writeSpec(t, body)); err == nil {
+			t.Errorf("%s: accepted %q", name, body)
+		}
+	}
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSpecZeroValue(t *testing.T) {
+	var s Spec
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.IDs(), exp.IDs()) {
+		t.Errorf("zero spec should select every experiment, got %v", s.IDs())
+	}
+	if s.SimParams() != sim.DefaultParams() {
+		t.Errorf("zero spec params = %+v", s.SimParams())
+	}
+	if s.Workers() < 1 {
+		t.Errorf("workers = %d", s.Workers())
+	}
+}
+
+func TestSpecAllKeyword(t *testing.T) {
+	s := Spec{Experiments: []string{"fig9", "all"}}
+	if !reflect.DeepEqual(s.IDs(), exp.IDs()) {
+		t.Errorf(`"all" not expanded: %v`, s.IDs())
+	}
+}

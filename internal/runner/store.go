@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ubscache/internal/sim"
+	"ubscache/internal/workload"
+)
+
+// Key returns the content hash identifying one simulation point: the
+// normalised parameters, the full workload configuration, and the design
+// name. Equal keys denote equal results across processes because every
+// simulation is a deterministic function of exactly these inputs.
+func Key(p sim.Params, wcfg workload.Config, design string) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// The structs are flat with exported fields only; encoding cannot fail.
+	enc.Encode(p)
+	enc.Encode(wcfg)
+	enc.Encode(design)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// RunMeta records how a result was obtained.
+type RunMeta struct {
+	// Seconds is the simulation's wall-clock time (the original run's time
+	// for disk-cache hits).
+	Seconds float64
+	// Disk marks results served from the on-disk cache.
+	Disk bool
+}
+
+type flight struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// Store memoizes simulation results by content Key. Concurrent requests
+// for the same key block on a single in-flight simulation (singleflight)
+// rather than duplicating work, and a non-empty Dir persists every result
+// as JSON so an interrupted sweep resumes instead of recomputing. Errors
+// are not cached; a failed point may be retried.
+type Store struct {
+	// Dir persists results under <Dir>/<key>.json when non-empty.
+	Dir string
+	// Sim runs one simulation; nil means sim.Run (tests inject stubs).
+	Sim func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
+
+	mu       sync.Mutex
+	results  map[string]sim.Result
+	meta     map[string]RunMeta
+	inflight map[string]*flight
+}
+
+// NewStore builds a Store; dir == "" keeps results in memory only.
+func NewStore(dir string) *Store {
+	return &Store{
+		Dir:      dir,
+		results:  make(map[string]sim.Result),
+		meta:     make(map[string]RunMeta),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Run returns the memoized result for (p, wcfg, design), computing it at
+// most once per key no matter how many goroutines ask concurrently. Its
+// signature matches exp.Options.Exec.
+func (s *Store) Run(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
+	key := Key(p, wcfg, design)
+	s.mu.Lock()
+	if res, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	res, meta, err := s.compute(key, p, wcfg, design, factory)
+	f.res, f.err = res, err
+	s.mu.Lock()
+	if err == nil {
+		s.results[key] = res
+		s.meta[key] = meta
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return res, err
+}
+
+// Result returns the memoized result for key, if present.
+func (s *Store) Result(key string) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, ok := s.results[key]
+	return res, ok
+}
+
+// Meta reports how key's result was obtained (zero value if unknown).
+func (s *Store) Meta(key string) RunMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta[key]
+}
+
+func (s *Store) compute(key string, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, RunMeta, error) {
+	if res, sec, ok := s.loadDisk(key); ok {
+		return res, RunMeta{Seconds: sec, Disk: true}, nil
+	}
+	t0 := time.Now()
+	res, err := s.simulate(p, wcfg, design, factory)
+	if err != nil {
+		return sim.Result{}, RunMeta{}, err
+	}
+	meta := RunMeta{Seconds: time.Since(t0).Seconds()}
+	s.saveDisk(key, res, meta.Seconds)
+	return res, meta, nil
+}
+
+// simulate isolates per-run panics into errors so one bad design point
+// cannot take down a whole sweep.
+func (s *Store) simulate(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (res sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: %s on %s panicked: %v", design, wcfg.Name, r)
+		}
+	}()
+	runf := s.Sim
+	if runf == nil {
+		runf = sim.Run
+	}
+	return runf(p, wcfg, design, factory)
+}
+
+// diskRecord is the on-disk cache entry; sim.Result round-trips through
+// encoding/json because all its fields are exported value types.
+type diskRecord struct {
+	Key      string     `json:"key"`
+	Workload string     `json:"workload"`
+	Design   string     `json:"design"`
+	Seconds  float64    `json:"seconds"`
+	Result   sim.Result `json:"result"`
+}
+
+func (s *Store) path(key string) string { return filepath.Join(s.Dir, key+".json") }
+
+func (s *Store) loadDisk(key string) (sim.Result, float64, bool) {
+	if s.Dir == "" {
+		return sim.Result{}, 0, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return sim.Result{}, 0, false
+	}
+	var rec diskRecord
+	if err := json.Unmarshal(data, &rec); err != nil || rec.Key != key {
+		// A truncated or stale entry is treated as a miss and overwritten.
+		return sim.Result{}, 0, false
+	}
+	return rec.Result, rec.Seconds, true
+}
+
+// saveDisk persists best-effort: a full disk must not fail the sweep, the
+// result is still held in memory.
+func (s *Store) saveDisk(key string, res sim.Result, seconds float64) {
+	if s.Dir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(diskRecord{
+		Key: key, Workload: res.Workload, Design: res.Design,
+		Seconds: seconds, Result: res,
+	})
+	if err != nil {
+		return
+	}
+	// Write-then-rename keeps entries atomic under interruption.
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, s.path(key))
+}
