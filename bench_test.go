@@ -11,6 +11,7 @@ package ubscache
 import (
 	"testing"
 
+	"ubscache/internal/bench"
 	"ubscache/internal/bpu"
 	"ubscache/internal/cache"
 	"ubscache/internal/exp"
@@ -113,6 +114,15 @@ func BenchmarkAblationWindow16(b *testing.B) {
 }
 
 // --- Microbenchmarks ---------------------------------------------------
+
+// BenchmarkHotPath runs the per-access hot-path suite shared with the
+// `ubsweep -bench` runner (internal/bench); its results are the per-PR
+// BENCH_*.json perf trajectory.
+func BenchmarkHotPath(b *testing.B) {
+	for _, c := range bench.Cases() {
+		b.Run(c.Name, c.Bench)
+	}
+}
 
 // BenchmarkSimulatorThroughput measures end-to-end simulated instructions
 // per second on the full system.

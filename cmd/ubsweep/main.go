@@ -6,6 +6,8 @@
 //	ubsweep -exp all -parallel 8 -v       # 8 concurrent simulations, progress/ETA
 //	ubsweep -spec examples/specs/perf.json -json -out artifacts
 //	ubsweep -list                         # available experiments
+//	ubsweep -bench BENCH_PR2.json         # hot-path microbench suite -> JSON
+//	ubsweep -exp all -cpuprofile cpu.out  # pprof the sweep itself
 //
 // Simulation points are deduplicated across experiments and run across
 // -parallel workers (internal/runner); rendered tables are byte-identical
@@ -22,12 +24,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
+	"ubscache/internal/bench"
 	"ubscache/internal/exp"
 	"ubscache/internal/runner"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main so deferred profile writers fire before exit.
+func run() int {
 	var (
 		expID     = flag.String("exp", "", "experiment id (or 'all')")
 		list      = flag.Bool("list", false, "list experiments and exit")
@@ -40,8 +50,45 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "write results.json (into -out, or the current directory)")
 		cacheDir  = flag.String("cache", "", "on-disk result cache directory (resumable sweeps)")
 		verbose   = flag.Bool("v", false, "print per-run progress and ETA")
+		benchOut  = flag.String("bench", "", "run the hot-path microbench suite and write a BENCH_*.json report to this file")
+		benchBase = flag.String("bench-baseline", "", "embed this earlier BENCH_*.json report as the baseline section")
+		benchTag  = flag.String("bench-label", "", "label recorded in the bench report (default: the output filename)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *benchOut != "" {
+		return runBench(*benchOut, *benchBase, *benchTag)
+	}
 
 	if *list || (*expID == "" && *specPath == "") {
 		fmt.Println("experiments:")
@@ -51,9 +98,9 @@ func main() {
 		}
 		if *expID == "" && *specPath == "" && !*list {
 			fmt.Fprintln(os.Stderr, "\nusage: ubsweep -exp <id|all> | -spec <file> [-per-family N] [-warmup N] [-measure N] [-parallel N] [-out dir] [-json] [-cache dir]")
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	spec := runner.Spec{}
@@ -62,7 +109,7 @@ func main() {
 		spec, err = runner.LoadSpec(*specPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	// Command-line flags override the spec file.
@@ -83,7 +130,7 @@ func main() {
 	}
 	if err := spec.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	resultsPath := ""
@@ -106,7 +153,7 @@ func main() {
 	outc, err := sw.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	for _, eo := range outc.Experiments {
 		fmt.Printf("=== %s — %s\n", eo.Experiment.ID, eo.Experiment.Title)
@@ -117,4 +164,45 @@ func main() {
 	if *verbose && resultsPath != "" {
 		fmt.Fprintf(os.Stderr, "runner: wrote %s (%d runs)\n", resultsPath, len(outc.Results.Runs))
 	}
+	return 0
+}
+
+// runBench executes the hot-path microbench suite (internal/bench, the
+// same cases as `go test -bench HotPath`) and writes the BENCH_*.json
+// perf-trajectory artifact, optionally embedding an earlier report as the
+// baseline to compare against.
+func runBench(outPath, basePath, label string) int {
+	if label == "" {
+		label = filepath.Base(outPath)
+	}
+	fmt.Fprintf(os.Stderr, "bench: running hot-path suite (label %s)...\n", label)
+	rep := bench.Run(label)
+	if basePath != "" {
+		base, err := bench.ReadJSON(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rep.Baseline = base.Benches
+	}
+	if err := rep.WriteJSON(outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	baseline := map[string]bench.Measurement{}
+	for _, m := range rep.Baseline {
+		baseline[m.Name] = m
+	}
+	for _, m := range rep.Benches {
+		line := fmt.Sprintf("%-14s %12.1f ns/op %6d allocs/op", m.Name, m.NsPerOp, m.AllocsPerOp)
+		if m.NsPerInstr > 0 {
+			line += fmt.Sprintf("  %8.1f ns/instr", m.NsPerInstr)
+		}
+		if b, ok := baseline[m.Name]; ok && m.NsPerOp > 0 {
+			line += fmt.Sprintf("  %5.2fx vs baseline", b.NsPerOp/m.NsPerOp)
+		}
+		fmt.Println(line)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", outPath)
+	return 0
 }

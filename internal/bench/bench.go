@@ -1,0 +1,210 @@
+// Package bench defines the hot-path microbenchmark suite behind both the
+// `go test -bench HotPath` family and the `ubsweep -bench` runner mode that
+// emits the BENCH_*.json perf-trajectory artifacts (one per PR, so every
+// change has a number to compare against).
+//
+// Each case drives one per-access hot path of the timing model in steady
+// state — MSHR churn, the L2/L3/DRAM hierarchy walk, L1-D loads, UBS
+// fetches — plus one end-to-end simulation measured in ns per simulated
+// instruction. All cases are deterministic: fixed address streams, fixed
+// clock advance, no RNG.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ubscache/internal/cache"
+	"ubscache/internal/mem"
+	"ubscache/internal/sim"
+	"ubscache/internal/ubs"
+	"ubscache/internal/workload"
+)
+
+// Case is one hot-path microbenchmark.
+type Case struct {
+	Name string
+	// InstrsPerOp converts ns/op to ns/simulated-instruction when nonzero.
+	InstrsPerOp uint64
+	Bench       func(b *testing.B)
+}
+
+// simInstrs is the measured-instruction count of the end-to-end case.
+const simInstrs = 100_000
+
+// Cases returns the suite in a stable order.
+func Cases() []Case {
+	return []Case{
+		{Name: "MSHR", Bench: benchMSHR},
+		{Name: "FetchBlock", Bench: benchFetchBlock},
+		{Name: "DataCacheLoad", Bench: benchDataCacheLoad},
+		{Name: "UBSFetch", Bench: benchUBSFetch},
+		{Name: "SimInstr", InstrsPerOp: simInstrs, Bench: benchSimInstr},
+	}
+}
+
+// benchMSHR churns a 32-entry MSHR at steady state: the clock advances a
+// few cycles per op while each in-flight miss lives ~100 cycles, so the
+// file hovers at capacity with continuous expiry, merge hits and misses,
+// capacity checks, and inserts — the exact per-access sequence the
+// frontends issue.
+func benchMSHR(b *testing.B) {
+	m := mem.NewMSHR(32)
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 3
+		block := uint64(i%64) * 64
+		if _, merged := m.Lookup(block, now); merged {
+			continue
+		}
+		if !m.Full(now) {
+			m.Insert(block, now+100)
+		}
+	}
+}
+
+// benchFetchBlock walks the shared L2/L3/DRAM hierarchy over a working set
+// exactly the size of the L2, mixing L2 hits, L3 hits, MSHR merges, and
+// DRAM misses.
+func benchFetchBlock(b *testing.B) {
+	h := mem.MustNewHierarchy(mem.DefaultHierarchyConfig())
+	ctx := cache.AccessContext{}
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 2
+		h.FetchBlock(uint64(i%8192)*64, now, ctx)
+	}
+}
+
+// benchDataCacheLoad drives the L1-D front of the hierarchy with a stream
+// that overflows the 48KB array, mixing L1 hits with misses that walk the
+// backing levels.
+func benchDataCacheLoad(b *testing.B) {
+	h := mem.MustNewHierarchy(mem.DefaultHierarchyConfig())
+	d, err := mem.NewDataCache(mem.DefaultDataCacheConfig(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := cache.AccessContext{}
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 2
+		d.Load(uint64(i%2048)*64, now, ctx)
+	}
+}
+
+// benchUBSFetch exercises the UBS frontend fast path over a code footprint
+// larger than the cache, so predictor hits, way hits, and misses (with the
+// full install/distill machinery) all appear.
+func benchUBSFetch(b *testing.B) {
+	h := mem.MustNewHierarchy(mem.DefaultHierarchyConfig())
+	u := ubs.MustNew(ubs.DefaultConfig(), h)
+	// Warm the predictor and ways.
+	for i := 0; i < 8192; i++ {
+		u.Fetch(0x10000+uint64(i%4096)*16, 8, uint64(i*4))
+	}
+	now := uint64(8192 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 2
+		u.Fetch(0x10000+uint64(i%4096)*16, 8, now)
+	}
+}
+
+// benchSimInstr runs the full modelled system (UBS frontend, L1-D, shared
+// hierarchy, OoO core) for simInstrs instructions per op.
+func benchSimInstr(b *testing.B) {
+	wcfg, err := workload.Preset(workload.FamilyServer, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sim.DefaultParams()
+	p.Warmup = 0
+	p.Measure = simInstrs
+	factory := sim.UBSFactory(ubs.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p, wcfg, "ubs", factory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Measurement is one benchmark result within a Report.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NsPerInstr  float64 `json:"ns_per_instruction,omitempty"`
+}
+
+// Report is the BENCH_*.json document: one suite run, optionally paired
+// with the numbers of the baseline it was compared against.
+type Report struct {
+	Label      string        `json:"label"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benches    []Measurement `json:"benches"`
+	// Baseline carries the pre-change numbers when the runner was given a
+	// baseline report to diff against (ubsweep -bench-baseline).
+	Baseline []Measurement `json:"baseline,omitempty"`
+}
+
+// Run executes the whole suite via testing.Benchmark and returns a report.
+func Run(label string) Report {
+	rep := Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Bench)
+		m := Measurement{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if c.InstrsPerOp > 0 {
+			m.NsPerInstr = m.NsPerOp / float64(c.InstrsPerOp)
+		}
+		rep.Benches = append(rep.Benches, m)
+	}
+	return rep
+}
+
+// WriteJSON writes the report to path.
+func (r Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a previously written report.
+func ReadJSON(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return r, nil
+}

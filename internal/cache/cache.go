@@ -8,7 +8,10 @@
 // Figure 2 / Figure 7 (storage efficiency) data.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // AccessContext carries the metadata replacement policies may use.
 type AccessContext struct {
@@ -48,12 +51,7 @@ type Block struct {
 
 // AccessedUnits returns the number of set bits in the Accessed mask.
 func (b *Block) AccessedUnits() int {
-	n, m := 0, b.Accessed
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
+	return bits.OnesCount64(b.Accessed)
 }
 
 // Config describes a cache array.
@@ -137,9 +135,13 @@ type Cache struct {
 	cfg        Config
 	blockShift uint
 	unitShift  uint
-	sets       [][]Block
-	policy     Policy
-	stats      Stats
+	// setMask indexes sets without a hardware divide when Sets is a power
+	// of two (every Table I geometry is); setsPow2 selects the fast path.
+	setMask  uint64
+	setsPow2 bool
+	sets     [][]Block
+	policy   Policy
+	stats    Stats
 }
 
 // New constructs a cache from cfg.
@@ -156,6 +158,10 @@ func New(cfg Config) (*Cache, error) {
 	}
 	for 1<<c.unitShift < cfg.Unit {
 		c.unitShift++
+	}
+	if cfg.Sets&(cfg.Sets-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = uint64(cfg.Sets - 1)
 	}
 	c.sets = make([][]Block, cfg.Sets)
 	blocks := make([]Block, cfg.Sets*cfg.Ways)
@@ -182,6 +188,10 @@ func MustNew(cfg Config) *Cache {
 // Config returns the effective configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// BlockSize returns the block size in bytes without copying the whole
+// configuration (hot paths ask for it per access).
+func (c *Cache) BlockSize() int { return c.cfg.BlockSize }
+
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
@@ -195,6 +205,9 @@ func (c *Cache) BlockAddr(addr uint64) uint64 {
 
 // SetIndex maps an address to its set.
 func (c *Cache) SetIndex(addr uint64) int {
+	if c.setsPow2 {
+		return int((addr >> c.blockShift) & c.setMask)
+	}
 	return int((addr >> c.blockShift) % uint64(c.cfg.Sets))
 }
 
@@ -214,9 +227,17 @@ func (c *Cache) Probe(addr uint64) (set, way int, hit bool) {
 // must lie within one block. On a hit the accessed units are recorded and
 // the policy notified. It returns whether the access hit.
 func (c *Cache) Access(addr uint64, size int, ctx AccessContext) bool {
+	set, way, hit := c.Probe(addr)
+	return c.AccessAt(set, way, hit, addr, size, ctx)
+}
+
+// AccessAt commits the demand-access bookkeeping for a Probe result the
+// caller already holds, skipping the second tag scan. It is the commit
+// half of probe-then-commit walks (Hierarchy.FetchBlock) and produces
+// exactly the counters and policy updates Access would.
+func (c *Cache) AccessAt(set, way int, hit bool, addr uint64, size int, ctx AccessContext) bool {
 	c.checkRange(addr, size)
 	c.stats.Accesses++
-	set, way, hit := c.Probe(addr)
 	if !hit {
 		c.stats.Misses++
 		return false
@@ -248,9 +269,15 @@ func (c *Cache) MarkAccessed(addr uint64, size int) {
 func (c *Cache) markAccessed(b *Block, addr uint64, size int) {
 	first := (addr & (uint64(c.cfg.BlockSize) - 1)) >> c.unitShift
 	last := ((addr + uint64(size) - 1) & (uint64(c.cfg.BlockSize) - 1)) >> c.unitShift
-	for u := first; u <= last; u++ {
-		b.Accessed |= 1 << u
+	// Set bits [first, last] in one operation; n is at most 64 (the
+	// validated units-per-block ceiling), and a 64-wide range means the
+	// whole mask.
+	n := last - first + 1
+	if n >= 64 {
+		b.Accessed = ^uint64(0)
+		return
 	}
+	b.Accessed |= (uint64(1)<<n - 1) << first
 }
 
 func (c *Cache) checkRange(addr uint64, size int) {

@@ -147,6 +147,7 @@ func (cv *Conventional) Fetch(addr uint64, size int, now uint64) Result {
 	}
 	// Demand miss.
 	if cv.mshr.Full(now) {
+		cv.mshr.RecordFullStall()
 		cv.stats.MSHRStalls++
 		return Result{Kind: FullMiss, Issued: false}
 	}

@@ -236,6 +236,7 @@ func (d *Distill) Fetch(addr uint64, size int, now uint64) Result {
 	}
 	// Demand miss: fill the LOC with the whole 64B block.
 	if d.mshr.Full(now) {
+		d.mshr.RecordFullStall()
 		d.stats.MSHRStalls++
 		return Result{Kind: FullMiss, Issued: false}
 	}

@@ -159,6 +159,7 @@ func (sb *SmallBlock) Fetch(addr uint64, size int, now uint64) Result {
 	// Demand miss: fetch the full 64B block from the hierarchy, park it in
 	// the buffer, and install only the requested chunks.
 	if sb.mshr.Full(now) {
+		sb.mshr.RecordFullStall()
 		sb.stats.MSHRStalls++
 		return Result{Kind: FullMiss, Issued: false}
 	}

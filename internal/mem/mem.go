@@ -16,13 +16,30 @@ import (
 	"ubscache/internal/cache"
 )
 
+// mshrEntry is one outstanding miss.
+type mshrEntry struct {
+	done  uint64 // completion cycle
+	block uint64 // block address
+}
+
 // MSHR is a miss status holding register file: a bounded set of
 // outstanding block misses with their completion times.
+//
+// Entries live in a fixed-capacity binary min-heap keyed by completion
+// time, so expiry pops only the entries that have actually completed —
+// amortized O(1) per access (each entry is pushed and popped exactly once)
+// with an O(1) "nothing has completed" fast path — and the steady state
+// allocates nothing: the backing array is sized once at construction.
+// Block lookups scan the live entries linearly; MSHR files are small
+// (8–64 entries, Table I), so the scan is a handful of contiguous cache
+// lines and beats any map by a wide margin.
 type MSHR struct {
-	cap     int
-	entries map[uint64]uint64 // block address -> completion cycle
+	cap  int
+	heap []mshrEntry // min-heap on done; backing array allocated once
 
-	// Stats.
+	// Stats. FullStall counts aborted demand allocations — one per
+	// caller-observed retry (see RecordFullStall); Full itself is a pure
+	// query and counts nothing.
 	Merges    uint64
 	Allocs    uint64
 	FullStall uint64
@@ -33,7 +50,7 @@ func NewMSHR(capacity int) *MSHR {
 	if capacity < 1 {
 		panic(fmt.Sprintf("mem: bad MSHR capacity %d", capacity))
 	}
-	return &MSHR{cap: capacity, entries: make(map[uint64]uint64, capacity)}
+	return &MSHR{cap: capacity, heap: make([]mshrEntry, 0, capacity)}
 }
 
 // Cap returns the capacity.
@@ -42,45 +59,101 @@ func (m *MSHR) Cap() int { return m.cap }
 // InFlight returns the number of live entries at cycle now.
 func (m *MSHR) InFlight(now uint64) int {
 	m.expire(now)
-	return len(m.entries)
+	return len(m.heap)
 }
 
-// expire drops entries whose miss has completed.
+// expire drops entries whose miss has completed (done <= now).
 func (m *MSHR) expire(now uint64) {
-	for a, done := range m.entries {
-		if done <= now {
-			delete(m.entries, a)
+	for len(m.heap) > 0 && m.heap[0].done <= now {
+		n := len(m.heap) - 1
+		m.heap[0] = m.heap[n]
+		m.heap = m.heap[:n]
+		m.siftDown(0)
+	}
+}
+
+func (m *MSHR) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && m.heap[r].done < m.heap[c].done {
+			c = r
+		}
+		if m.heap[i].done <= m.heap[c].done {
+			return
+		}
+		m.heap[i], m.heap[c] = m.heap[c], m.heap[i]
+		i = c
+	}
+}
+
+func (m *MSHR) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if m.heap[p].done <= m.heap[i].done {
+			return
+		}
+		m.heap[i], m.heap[p] = m.heap[p], m.heap[i]
+		i = p
+	}
+}
+
+// find returns the index of the live entry for block, or -1.
+func (m *MSHR) find(block uint64) int {
+	for i := range m.heap {
+		if m.heap[i].block == block {
+			return i
 		}
 	}
+	return -1
 }
 
 // Lookup returns the completion time of an outstanding miss for block, if
 // any. A successful lookup is a merge.
 func (m *MSHR) Lookup(block, now uint64) (done uint64, ok bool) {
 	m.expire(now)
-	done, ok = m.entries[block]
-	if ok {
+	if i := m.find(block); i >= 0 {
 		m.Merges++
+		return m.heap[i].done, true
 	}
-	return done, ok
+	return 0, false
 }
 
-// Full reports whether a new allocation would exceed capacity at cycle now.
+// Peek is Lookup without the merge accounting: probe phases use it to test
+// for an outstanding miss without committing to the merge.
+func (m *MSHR) Peek(block, now uint64) (done uint64, ok bool) {
+	m.expire(now)
+	if i := m.find(block); i >= 0 {
+		return m.heap[i].done, true
+	}
+	return 0, false
+}
+
+// Full reports whether a new allocation would exceed capacity at cycle
+// now. It is a pure capacity query; callers that abort because of it must
+// record the stall with RecordFullStall.
 func (m *MSHR) Full(now uint64) bool {
 	m.expire(now)
-	if len(m.entries) >= m.cap {
-		m.FullStall++
-		return true
-	}
-	return false
+	return len(m.heap) >= m.cap
 }
 
-// Insert allocates an entry; the caller must have checked Full.
+// RecordFullStall counts one aborted demand allocation. Callers invoke it
+// when — and only when — a full MSHR actually forces them to abort and
+// retry, so FullStall equals the retry count rather than the number of
+// speculative capacity probes.
+func (m *MSHR) RecordFullStall() { m.FullStall++ }
+
+// Insert allocates an entry; the caller must have checked Full. Each block
+// may have at most one live entry (callers merge via Lookup first).
 func (m *MSHR) Insert(block, done uint64) {
-	if len(m.entries) >= m.cap {
+	if len(m.heap) >= m.cap {
 		panic("mem: MSHR overflow (caller did not check Full)")
 	}
-	m.entries[block] = done
+	m.heap = append(m.heap, mshrEntry{done: done, block: block})
+	m.siftUp(len(m.heap) - 1)
 	m.Allocs++
 }
 
@@ -115,6 +188,10 @@ type DRAM struct {
 	cfg  DRAMConfig
 	rows []uint64 // open row per bank (+1; 0 = closed)
 	busy []uint64 // cycle at which the bank becomes free
+	// bankMask selects the bank without a hardware divide when Banks is a
+	// power of two; bankPow2 gates the fast path.
+	bankMask uint64
+	bankPow2 bool
 
 	// Stats.
 	Accesses  uint64
@@ -128,17 +205,27 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	if cfg.Banks == 0 {
 		cfg = def
 	}
-	return &DRAM{
+	d := &DRAM{
 		cfg:  cfg,
 		rows: make([]uint64, cfg.Banks),
 		busy: make([]uint64, cfg.Banks),
 	}
+	if cfg.Banks&(cfg.Banks-1) == 0 {
+		d.bankPow2 = true
+		d.bankMask = uint64(cfg.Banks - 1)
+	}
+	return d
 }
 
 // Access issues a block read at cycle now and returns its completion time.
 func (d *DRAM) Access(addr, now uint64) uint64 {
 	d.Accesses++
-	bank := int((addr >> 6) % uint64(d.cfg.Banks))
+	var bank int
+	if d.bankPow2 {
+		bank = int((addr >> 6) & d.bankMask)
+	} else {
+		bank = int((addr >> 6) % uint64(d.cfg.Banks))
+	}
 	row := addr>>d.cfg.RowBits + 1
 	start := now + d.cfg.Controller
 	if b := d.busy[bank]; b > start {
@@ -236,26 +323,55 @@ func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // now. It returns the completion cycle at which the block arrives at the
 // L1, or ok=false when an MSHR downstream is full and the request must be
 // retried. Fills of L2/L3 are applied immediately (early-fill model).
+//
+// The walk is probe-then-commit: a read-only probe phase first decides
+// whether the request can complete at all, and only then does the commit
+// phase touch counters, replacement state, MSHR merges, and fills. An
+// aborted (ok=false) request therefore leaves the hierarchy byte-identical
+// to before the call — its retry next cycle does not double-count L2/L3
+// accesses or misses — except for the one FullStall recorded on the MSHR
+// that forced the abort.
 func (h *Hierarchy) FetchBlock(addr, now uint64, ctx cache.AccessContext) (complete uint64, ok bool) {
 	block := h.L2.Cache.BlockAddr(addr)
-	// L2 probe.
-	if h.L2.Cache.Access(block, h.L2.Cache.Config().BlockSize, ctx) {
+
+	// Probe phase: no counters, no LRU, no merges. The L3 probe only runs
+	// when the walk would actually reach the L3 (L2 miss, no L2 merge),
+	// which is exactly when the commit phase needs its result.
+	l2Set, l2Way, l2Hit := h.L2.Cache.Probe(block)
+	var l3Set, l3Way int
+	var l3Hit bool
+	if !l2Hit {
+		if _, merged := h.L2.MSHR.Peek(block, now); !merged {
+			if h.L2.MSHR.Full(now) {
+				h.L2.MSHR.RecordFullStall()
+				return 0, false
+			}
+			l3Set, l3Way, l3Hit = h.L3.Cache.Probe(block)
+			if !l3Hit {
+				if _, merged := h.L3.MSHR.Peek(block, now); !merged {
+					if h.L3.MSHR.Full(now) {
+						h.L3.MSHR.RecordFullStall()
+						return 0, false
+					}
+				}
+			}
+		}
+	}
+
+	// Commit phase: the request is guaranteed to complete; replay the walk
+	// with full accounting, reusing the probe results (no cycle passes
+	// between probe and commit, so they still hold).
+	if h.L2.Cache.AccessAt(l2Set, l2Way, l2Hit, block, h.L2.Cache.BlockSize(), ctx) {
 		return now + h.L2.Lat, true
 	}
 	if done, merged := h.L2.MSHR.Lookup(block, now); merged {
 		return done, true
 	}
-	if h.L2.MSHR.Full(now) {
-		return 0, false
-	}
-	// L3 probe.
 	var fillDone uint64
-	if h.L3.Cache.Access(block, h.L3.Cache.Config().BlockSize, ctx) {
+	if h.L3.Cache.AccessAt(l3Set, l3Way, l3Hit, block, h.L3.Cache.BlockSize(), ctx) {
 		fillDone = now + h.L2.Lat + h.L3.Lat
 	} else if done, merged := h.L3.MSHR.Lookup(block, now); merged {
 		fillDone = done + h.L2.Lat
-	} else if h.L3.MSHR.Full(now) {
-		return 0, false
 	} else {
 		dramDone := h.DRAM.Access(block, now+h.L2.Lat+h.L3.Lat)
 		h.L3.MSHR.Insert(block, dramDone)
@@ -314,6 +430,7 @@ func (d *DataCache) Load(addr, now uint64, ctx cache.AccessContext) (complete ui
 		return done, true
 	}
 	if d.MSHR.Full(now) {
+		d.MSHR.RecordFullStall()
 		return 0, false
 	}
 	fill, ok := d.H.FetchBlock(addr, now+d.Lat, ctx)
@@ -340,6 +457,7 @@ func (d *DataCache) Store(addr, now uint64, ctx cache.AccessContext) (ok bool) {
 		return true
 	}
 	if d.MSHR.Full(now) {
+		d.MSHR.RecordFullStall()
 		return false
 	}
 	fill, ok2 := d.H.FetchBlock(addr, now+d.Lat, ctx)

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"ubscache/internal/cache"
+	"ubscache/internal/testutil"
 )
 
 func TestMSHRBasics(t *testing.T) {
@@ -232,6 +233,247 @@ func TestDefaultConfigsMatchTableI(t *testing.T) {
 	}
 }
 
+func TestMSHRExpiryBoundary(t *testing.T) {
+	// An entry completing at cycle done is no longer in flight at done
+	// itself: expiry drops done <= now, so merges happen strictly before
+	// completion.
+	m := NewMSHR(4)
+	m.Insert(0x1000, 100)
+	if _, ok := m.Lookup(0x1000, 99); !ok {
+		t.Error("entry not live one cycle before completion")
+	}
+	if _, ok := m.Lookup(0x1000, 100); ok {
+		t.Error("entry still live at its completion cycle")
+	}
+	if n := m.InFlight(100); n != 0 {
+		t.Errorf("InFlight at completion = %d", n)
+	}
+	// Peek shares the same boundary but never counts a merge.
+	m.Insert(0x2000, 200)
+	merges := m.Merges
+	if _, ok := m.Peek(0x2000, 199); !ok {
+		t.Error("Peek missed a live entry")
+	}
+	if _, ok := m.Peek(0x2000, 200); ok {
+		t.Error("Peek returned an expired entry")
+	}
+	if m.Merges != merges {
+		t.Errorf("Peek changed Merges: %d -> %d", merges, m.Merges)
+	}
+}
+
+func TestMSHRFullIsPureAndStallsAreExplicit(t *testing.T) {
+	m := NewMSHR(1)
+	m.Insert(0x40, 1000)
+	for i := 0; i < 5; i++ {
+		if !m.Full(0) {
+			t.Fatal("full MSHR not reported full")
+		}
+	}
+	if m.FullStall != 0 {
+		t.Errorf("speculative Full checks counted %d stalls", m.FullStall)
+	}
+	m.RecordFullStall()
+	m.RecordFullStall()
+	if m.FullStall != 2 {
+		t.Errorf("FullStall = %d, want 2", m.FullStall)
+	}
+}
+
+func TestFetchBlockRetryLeavesHierarchyUntouched(t *testing.T) {
+	// A fetch aborted by a full downstream MSHR must not perturb L2/L3
+	// counters or replacement state: its retry next cycle would otherwise
+	// double-count misses.
+	cfg := DefaultHierarchyConfig()
+	cfg.L3MSHRs = 1
+	h := MustNewHierarchy(cfg)
+	ctx := cache.AccessContext{}
+	// Occupy the single L3 MSHR with a cold fetch.
+	if _, ok := h.FetchBlock(0x10000, 0, ctx); !ok {
+		t.Fatal("first fetch rejected")
+	}
+	l2Before, l3Before := h.L2.Cache.Stats(), h.L3.Cache.Stats()
+	dramBefore := h.DRAM.Accesses
+	// Retry a different cold block several times under the full L3 MSHR.
+	const retries = 3
+	for i := 0; i < retries; i++ {
+		if _, ok := h.FetchBlock(0x20000, uint64(i), ctx); ok {
+			t.Fatal("fetch accepted with full L3 MSHR")
+		}
+	}
+	if l2After := h.L2.Cache.Stats(); l2After != l2Before {
+		t.Errorf("aborted fetches changed L2 stats: %+v -> %+v", l2Before, l2After)
+	}
+	if l3After := h.L3.Cache.Stats(); l3After != l3Before {
+		t.Errorf("aborted fetches changed L3 stats: %+v -> %+v", l3Before, l3After)
+	}
+	if h.DRAM.Accesses != dramBefore {
+		t.Error("aborted fetch reached DRAM")
+	}
+	// The stall statistic equals the retry count, on the MSHR that forced
+	// the aborts, and nothing is recorded on the unaffected L2 MSHR.
+	if h.L3.MSHR.FullStall != retries {
+		t.Errorf("L3 FullStall = %d, want %d", h.L3.MSHR.FullStall, retries)
+	}
+	if h.L2.MSHR.FullStall != 0 {
+		t.Errorf("L2 FullStall = %d, want 0", h.L2.MSHR.FullStall)
+	}
+	// After the outstanding miss completes, the same request succeeds and
+	// only then do the L2/L3 counters move.
+	if _, ok := h.FetchBlock(0x20000, 100000, ctx); !ok {
+		t.Fatal("fetch rejected after MSHR drain")
+	}
+	if h.L2.Cache.Stats().Misses != l2Before.Misses+1 {
+		t.Errorf("L2 misses = %d, want %d", h.L2.Cache.Stats().Misses, l2Before.Misses+1)
+	}
+}
+
+func TestFetchBlockRetryPreservesLRU(t *testing.T) {
+	// Replacement state must also survive aborts: fill an L2 set, touch
+	// its blocks in a known order, abort a fetch, and check the original
+	// LRU victim is still chosen.
+	cfg := DefaultHierarchyConfig()
+	cfg.L2Sets, cfg.L2Ways = 2, 2
+	cfg.L2MSHRs = 1
+	h := MustNewHierarchy(cfg)
+	ctx := cache.AccessContext{}
+	set0a := uint64(0x0000) // set 0
+	set0b := uint64(0x8000) // also set 0 (sets=2, so bit 6 selects the set)
+	h.L2.Cache.Fill(set0a, cache.AccessContext{Cycle: 1})
+	h.L2.Cache.Fill(set0b, cache.AccessContext{Cycle: 2})
+	// Touch a so b becomes the LRU victim.
+	h.L2.Cache.Access(set0a, 64, cache.AccessContext{Cycle: 3})
+	// Fill the L2 MSHR so the next L2-missing fetch aborts.
+	if _, ok := h.FetchBlock(0x10040, 10, ctx); !ok {
+		t.Fatal("setup fetch rejected")
+	}
+	// This fetch hits set 0 in the probe (miss) and aborts on the MSHR; it
+	// must not refresh either resident block.
+	if _, ok := h.FetchBlock(0x20000, 11, ctx); ok {
+		t.Fatal("fetch accepted with full L2 MSHR")
+	}
+	victim := h.L2.Cache.Fill(0x30000, cache.AccessContext{Cycle: 20})
+	if !victim.Valid || victim.Tag != set0b>>6 {
+		t.Errorf("victim tag %#x, want %#x (LRU order perturbed by abort)",
+			victim.Tag, set0b>>6)
+	}
+}
+
+func TestDataCacheStoreMergeDirtiness(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierarchyConfig())
+	d, err := NewDataCache(DefaultDataCacheConfig(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cache.AccessContext{}
+	// Cold load allocates the block with an outstanding MSHR entry.
+	done, ok := d.Load(0x8000, 0, ctx)
+	if !ok {
+		t.Fatal("cold load rejected")
+	}
+	// In the early-fill model the block is already resident, so a store
+	// issued before the miss completes hits it and dirties it: the data
+	// will be dirty once the fill lands.
+	if !d.Store(0x8004, done-1, ctx) {
+		t.Fatal("pre-completion store rejected")
+	}
+	set, way, hit := d.C.Probe(0x8000)
+	if !hit {
+		t.Fatal("merged store's block not resident")
+	}
+	var dirty bool
+	d.C.ForEach(func(s, w int, b *cache.Block) {
+		if s == set && w == way {
+			dirty = b.Dirty
+		}
+	})
+	if !dirty {
+		t.Error("store merged into outstanding miss did not dirty the block")
+	}
+	// At the completion boundary (now == done) the MSHR entry has expired:
+	// the store is an ordinary hit on the filled block and stays dirty.
+	if !d.Store(0x8008, done, ctx) {
+		t.Fatal("boundary store rejected")
+	}
+	if _, merged := d.MSHR.Peek(d.C.BlockAddr(0x8000), done); merged {
+		t.Error("MSHR entry still live at its completion cycle")
+	}
+}
+
+func TestDataCacheStoreMergeAfterEviction(t *testing.T) {
+	// If the early-filled block is evicted while its miss is outstanding, a
+	// merging store's SetDirty is a silent no-op: the dirtiness is dropped
+	// with the copy. This pins the documented early-fill semantics.
+	h := MustNewHierarchy(DefaultHierarchyConfig())
+	d, err := NewDataCache(DefaultDataCacheConfig(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cache.AccessContext{}
+	done, ok := d.Load(0x8000, 0, ctx)
+	if !ok {
+		t.Fatal("cold load rejected")
+	}
+	d.C.Invalidate(0x8000)
+	if !d.Store(0x8004, done-1, ctx) {
+		t.Fatal("merging store rejected")
+	}
+	if _, _, hit := d.C.Probe(0x8000); hit {
+		t.Fatal("invalidated block resurrected by merging store")
+	}
+	var anyDirty bool
+	d.C.ForEach(func(_, _ int, b *cache.Block) { anyDirty = anyDirty || b.Dirty })
+	if anyDirty {
+		t.Error("merging store dirtied an unrelated block")
+	}
+}
+
+func TestMSHRMatchesReferenceModel(t *testing.T) {
+	// Property: the heap-based MSHR behaves exactly like the obvious
+	// map-based model under random interleavings of Lookup/Peek/Full/
+	// Insert with a monotonic clock.
+	f := func(seed int64, capRaw uint8) bool {
+		capN := int(capRaw)%8 + 1
+		m := NewMSHR(capN)
+		ref := map[uint64]uint64{} // block -> done
+		rng := rand.New(rand.NewSource(seed))
+		now := uint64(0)
+		for i := 0; i < 800; i++ {
+			now += uint64(rng.Intn(30))
+			for b, done := range ref {
+				if done <= now {
+					delete(ref, b)
+				}
+			}
+			block := uint64(rng.Intn(16)) * 64
+			wantDone, wantLive := ref[block]
+			gotDone, gotLive := m.Peek(block, now)
+			if wantLive != gotLive || (wantLive && wantDone != gotDone) {
+				return false
+			}
+			if m.InFlight(now) != len(ref) {
+				return false
+			}
+			if gotLive {
+				continue
+			}
+			full := m.Full(now)
+			if full != (len(ref) >= capN) {
+				return false
+			}
+			if !full {
+				done := now + uint64(1+rng.Intn(200))
+				m.Insert(block, done)
+				ref[block] = done
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestMSHRNeverExceedsCapProperty(t *testing.T) {
 	// Property: under arbitrary insert/lookup/expiry interleavings gated by
 	// Full(), live entries never exceed capacity.
@@ -285,5 +527,51 @@ func TestDRAMMonotonicCompletion(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMSHRSteadyStateAllocFree pins the tentpole property: the lookup /
+// capacity-check / insert cycle on a hot MSHR never heap-allocates once the
+// file's backing array exists.
+func TestMSHRSteadyStateAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	m := NewMSHR(32)
+	now := uint64(0)
+	i := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		now += 3
+		block := uint64(i%64) * 64
+		i++
+		if _, merged := m.Lookup(block, now); merged {
+			return
+		}
+		if !m.Full(now) {
+			m.Insert(block, now+100)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MSHR steady state allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestFetchBlockAllocFree pins the same property for the full L2/L3/DRAM
+// walk, including aborted (retry) requests.
+func TestFetchBlockAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	h := MustNewHierarchy(DefaultHierarchyConfig())
+	ctx := cache.AccessContext{}
+	now := uint64(0)
+	i := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		now += 2
+		h.FetchBlock(uint64(i%8192)*64, now, ctx)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("FetchBlock allocates %.1f objects per op, want 0", allocs)
 	}
 }

@@ -163,37 +163,11 @@ func RunSource(p Params, src trace.Source, workloadName, design string, factory 
 		}
 	}
 	res.Core = c.Stats()
-	res.ICache = diffICache(ic.Stats(), icWarm)
-	res.BPU = diffBPU(bp.Stats(), bpWarm)
+	res.ICache = ic.Stats().Delta(icWarm)
+	res.BPU = bp.Stats().Delta(bpWarm)
 	if u, ok := ic.(*ubs.Cache); ok {
 		st := u.UBSStats()
 		res.UBS = &st
 	}
 	return res, nil
-}
-
-// diffICache subtracts warmup counters.
-func diffICache(after, before icache.Stats) icache.Stats {
-	after.Fetches -= before.Fetches
-	after.Hits -= before.Hits
-	after.Misses -= before.Misses
-	for i := range after.ByKind {
-		after.ByKind[i] -= before.ByKind[i]
-	}
-	after.MSHRStalls -= before.MSHRStalls
-	after.Prefetches -= before.Prefetches
-	after.PrefetchDrops -= before.PrefetchDrops
-	return after
-}
-
-func diffBPU(after, before bpu.Stats) bpu.Stats {
-	after.Branches -= before.Branches
-	after.CondBranches -= before.CondBranches
-	after.DirectionWrong -= before.DirectionWrong
-	after.TargetWrong -= before.TargetWrong
-	after.BTBMisses -= before.BTBMisses
-	after.Mispredictions -= before.Mispredictions
-	after.DecodeResteers -= before.DecodeResteers
-	after.RASMispredicts -= before.RASMispredicts
-	return after
 }

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
+	"ubscache/internal/bpu"
 	"ubscache/internal/icache"
 	"ubscache/internal/trace"
 	"ubscache/internal/ubs"
@@ -216,5 +219,87 @@ func TestResultHelpers(t *testing.T) {
 	}
 	if res.StallCycles() > res.Core.Cycles {
 		t.Error("stall cycles exceed total cycles")
+	}
+}
+
+// fillNumeric sets every numeric leaf of a stats struct to x, recursing
+// through nested structs and arrays. It fails the test on any field kind it
+// does not understand, so adding an exotic field forces extending this
+// helper alongside the Delta methods it audits.
+func fillNumeric(t *testing.T, v reflect.Value, path string, x uint64) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(x)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(x))
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(float64(x))
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			fillNumeric(t, v.Index(i), fmt.Sprintf("%s[%d]", path, i), x)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillNumeric(t, v.Field(i), path+"."+v.Type().Field(i).Name, x)
+		}
+	default:
+		t.Fatalf("%s: unsupported stats field kind %s; teach fillNumeric and Delta about it", path, v.Kind())
+	}
+}
+
+// checkNumeric asserts every numeric leaf equals want, naming the first
+// offender by its field path.
+func checkNumeric(t *testing.T, v reflect.Value, path string, want uint64) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if v.Uint() != want {
+			t.Errorf("%s = %d after Delta, want %d (field not subtracted?)", path, v.Uint(), want)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if v.Int() != int64(want) {
+			t.Errorf("%s = %d after Delta, want %d (field not subtracted?)", path, v.Int(), want)
+		}
+	case reflect.Float32, reflect.Float64:
+		if v.Float() != float64(want) {
+			t.Errorf("%s = %g after Delta, want %d (field not subtracted?)", path, v.Float(), want)
+		}
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			checkNumeric(t, v.Index(i), fmt.Sprintf("%s[%d]", path, i), want)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			checkNumeric(t, v.Field(i), path+"."+v.Type().Field(i).Name, want)
+		}
+	default:
+		t.Fatalf("%s: unsupported stats field kind %s", path, v.Kind())
+	}
+}
+
+// TestStatsDeltaExhaustive guards the warmup-subtraction path: every numeric
+// field of the frontend stats types must be handled by its Delta method.
+// Adding a counter without extending Delta leaves the new field at its
+// end-of-run value (warmup included) and fails here.
+func TestStatsDeltaExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		zero interface{}
+	}{
+		{"icache.Stats", icache.Stats{}},
+		{"bpu.Stats", bpu.Stats{}},
+	} {
+		typ := reflect.TypeOf(tc.zero)
+		after := reflect.New(typ).Elem()
+		before := reflect.New(typ).Elem()
+		fillNumeric(t, after, tc.name, 3)
+		fillNumeric(t, before, tc.name, 1)
+		m := after.MethodByName("Delta")
+		if !m.IsValid() {
+			t.Fatalf("%s has no Delta method", tc.name)
+		}
+		out := m.Call([]reflect.Value{before})[0]
+		checkNumeric(t, out, tc.name, 2)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by the package test suites.
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. Allocation
+// -count assertions skip under it: instrumentation may heap-allocate where
+// the plain build does not.
+const RaceEnabled = false

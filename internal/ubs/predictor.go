@@ -1,5 +1,7 @@
 package ubs
 
+import "math/bits"
+
 // predictor is the useful-byte predictor (§IV-B): a small cache of full
 // 64B blocks, each with a bit-vector recording the granules fetched by the
 // core during the block's residency. On eviction, the bit-vector tells the
@@ -132,23 +134,29 @@ func rangeMask(g0, g1 int) uint64 {
 }
 
 // popcount counts set bits.
-func popcount(m uint64) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
+func popcount(m uint64) int { return bits.OnesCount64(m) }
 
 // run is a maximal run of set granule bits.
 type run struct{ start, len int }
 
 func (r run) end() int { return r.start + r.len }
 
+// countRuns returns the number of maximal runs in mask without
+// materialising them: a run begins at every set bit whose lower neighbour
+// is clear.
+func countRuns(mask uint64) int {
+	return popcount(mask &^ (mask << 1))
+}
+
 // extractRuns decomposes a mask into maximal runs, ascending.
 func extractRuns(mask uint64) []run {
-	var runs []run
+	return extractRunsInto(nil, mask)
+}
+
+// extractRunsInto is extractRuns appending into dst, so hot paths can reuse
+// a scratch buffer and stay allocation-free.
+func extractRunsInto(dst []run, mask uint64) []run {
+	runs := dst
 	for g := 0; g < 64; {
 		if mask&(1<<g) == 0 {
 			g++

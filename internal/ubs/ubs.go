@@ -62,10 +62,25 @@ type Cache struct {
 	h       *mem.Hierarchy
 	clock   uint64 // LRU clock
 	stats   Stats
+	// setMask indexes sets without a hardware divide when Sets is a power
+	// of two; setPow2 gates the fast path.
+	setMask uint64
+	setPow2 bool
 
 	// §VI-H congruence extensions (nil when disabled).
 	dead  *deadPredictor
 	admit *admitFilter
+
+	// Reusable scratch, sized once in New, so the per-access hot path and
+	// the property-test harness stay allocation-free in steady state.
+	runScratch []run     // moveToWays run decomposition
+	invScratch []tagSpan // CheckInvariants per-set span table
+}
+
+// tagSpan is one valid sub-block's extent, used by CheckInvariants.
+type tagSpan struct {
+	tag    uint64
+	lo, hi int
 }
 
 var _ icache.Frontend = (*Cache)(nil)
@@ -77,6 +92,10 @@ func New(cfg Config, h *mem.Hierarchy) (*Cache, error) {
 	}
 	u := &Cache{cfg: cfg, h: h, mshr: mem.NewMSHR(cfg.MSHRs),
 		granule: cfg.granule(), ng: cfg.Granules()}
+	if cfg.Sets&(cfg.Sets-1) == 0 {
+		u.setPow2 = true
+		u.setMask = uint64(cfg.Sets - 1)
+	}
 	u.ways = make([][]wayEntry, cfg.Sets)
 	entries := make([]wayEntry, cfg.Sets*len(cfg.WaySizes))
 	for s := range u.ways {
@@ -87,6 +106,8 @@ func New(cfg Config, h *mem.Hierarchy) (*Cache, error) {
 		u.wayG[i] = w / u.granule
 	}
 	u.pred = newPredictor(cfg.PredictorSets, cfg.PredictorWays, cfg.PredictorFIFO)
+	u.runScratch = make([]run, 0, u.ng/2+1)
+	u.invScratch = make([]tagSpan, 0, len(cfg.WaySizes))
 	if cfg.DeadBlockWays {
 		u.dead = newDeadPredictor()
 	}
@@ -121,6 +142,9 @@ func (u *Cache) Stats() icache.Stats { return u.stats.Stats }
 func (u *Cache) UBSStats() Stats { return u.stats }
 
 func (u *Cache) setIndex(block uint64) int {
+	if u.setPow2 {
+		return int((block >> 6) & u.setMask)
+	}
 	return int((block >> 6) % uint64(u.cfg.Sets))
 }
 
@@ -222,6 +246,7 @@ func (u *Cache) Fetch(addr uint64, size int, now uint64) icache.Result {
 
 	// Miss (full or partial): fetch the whole 64B block from L2 (§IV-F).
 	if u.mshr.Full(now) {
+		u.mshr.RecordFullStall()
 		u.stats.MSHRStalls++
 		return icache.Result{Kind: kind, Issued: false}
 	}
@@ -299,10 +324,10 @@ func (u *Cache) moveToWays(block uint64, keep, accessed uint64, now uint64) {
 	if u.admit != nil && !u.admit.admit(block) {
 		// ACIC-in-congruence: this region's sub-blocks keep dying without
 		// reuse; bypass the ways entirely (§VI-H).
-		u.stats.Congruence.FilteredRuns += uint64(len(extractRuns(keep)))
+		u.stats.Congruence.FilteredRuns += uint64(countRuns(keep))
 		return
 	}
-	runs := extractRuns(keep)
+	runs := extractRunsInto(u.runScratch[:0], keep)
 	for i := 0; i < len(runs); {
 		r := runs[i]
 		stored := u.place(block, r, accessed, now)
@@ -321,6 +346,7 @@ func (u *Cache) moveToWays(block uint64, keep, accessed uint64, now uint64) {
 		}
 		i = j
 	}
+	u.runScratch = runs[:0] // keep any grown backing for reuse
 }
 
 // place installs one run as a sub-block and returns the stored granule
@@ -473,11 +499,12 @@ func (u *Cache) ResidentBlocks() (ways, pred int) {
 // the same 64B block never overlap, stored extents stay within the block
 // and within way capacity, and every sub-block lives in its home set. It
 // returns the first violation found. Tests and the property harness call
-// this after every operation batch.
+// this after every operation batch, so it works off preallocated scratch
+// (a set holds at most len(WaySizes) sub-blocks — a linear span table
+// beats a map and allocates nothing across calls).
 func (u *Cache) CheckInvariants() error {
 	for s := range u.ways {
-		type span struct{ lo, hi int }
-		perBlock := make(map[uint64][]span)
+		spans := u.invScratch[:0]
 		for w := range u.ways[s] {
 			e := &u.ways[s][w]
 			if !e.valid {
@@ -496,19 +523,30 @@ func (u *Cache) CheckInvariants() error {
 			if e.accessed&^rangeMask(e.start, e.start+e.stored-1) != 0 {
 				return fmt.Errorf("ubs: accessed bits outside stored range")
 			}
-			for _, sp := range perBlock[e.tag] {
-				if e.start < sp.hi && sp.lo < e.start+e.stored {
+			for _, sp := range spans {
+				if sp.tag == e.tag && e.start < sp.hi && sp.lo < e.start+e.stored {
 					return fmt.Errorf("ubs: overlapping sub-blocks of %#x", e.tag)
 				}
 			}
-			perBlock[e.tag] = append(perBlock[e.tag], span{e.start, e.start + e.stored})
+			spans = append(spans, tagSpan{tag: e.tag, lo: e.start, hi: e.start + e.stored})
 		}
 		// A block must not be resident in both predictor and ways.
-		for tag := range perBlock {
-			if u.pred.lookup(tag, false) != nil {
-				return fmt.Errorf("ubs: block %#x in both predictor and ways", tag)
+		for i := range spans {
+			dup := false
+			for j := 0; j < i; j++ {
+				if spans[j].tag == spans[i].tag {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if u.pred.lookup(spans[i].tag, false) != nil {
+				return fmt.Errorf("ubs: block %#x in both predictor and ways", spans[i].tag)
 			}
 		}
+		u.invScratch = spans[:0]
 	}
 	return nil
 }

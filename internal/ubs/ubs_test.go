@@ -7,6 +7,7 @@ import (
 
 	"ubscache/internal/icache"
 	"ubscache/internal/mem"
+	"ubscache/internal/testutil"
 )
 
 func hier() *mem.Hierarchy {
@@ -624,5 +625,52 @@ func TestBlockCountVsConventional(t *testing.T) {
 	}
 	if err := u.CheckInvariants(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCheckInvariantsAllocFree pins the scratch-buffer rewrite: the
+// invariant sweep over a warm cache must not allocate, so the harness can
+// run it per-interval without GC pressure.
+func TestCheckInvariantsAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	u := newDefault(t)
+	for i := 0; i < 8192; i++ {
+		u.Fetch(0x10000+uint64(i%4096)*16, 8, uint64(i*4))
+	}
+	// One priming call grows the scratch buffers to their high-water mark.
+	if err := u.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := u.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CheckInvariants allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestFetchSteadyStateAllocFree covers the frontend fast path end to end
+// (predictor, ways, moveToWays run extraction) on a warm footprint.
+func TestFetchSteadyStateAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	u := newDefault(t)
+	for i := 0; i < 8192; i++ {
+		u.Fetch(0x10000+uint64(i%4096)*16, 8, uint64(i*4))
+	}
+	now := uint64(8192 * 4)
+	i := 0
+	allocs := testing.AllocsPerRun(10_000, func() {
+		now += 2
+		u.Fetch(0x10000+uint64(i%4096)*16, 8, now)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Fetch steady state allocates %.1f objects per op, want 0", allocs)
 	}
 }
