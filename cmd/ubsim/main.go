@@ -8,20 +8,31 @@
 //
 // Designs: conv:<KB>, ubs, ubs:<KB>, smallblock16, smallblock32, distill,
 // ghrp, acic, and the predictor/way variants ubs-pred-<name>, ubs-<N>way-c<V>.
+//
+// Observability: -stats-json streams NDJSON heartbeat records (plus a
+// final manifest) to a file; -http serves live metrics (Prometheus text at
+// /metrics, JSON at /vars) while the run is in flight; -hb sets the
+// heartbeat period in cycles. SIGINT/SIGTERM cancel the run cleanly at the
+// next heartbeat, flushing the manifest with the partial state.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ubscache/internal/cache"
 	"ubscache/internal/core"
 	"ubscache/internal/icache"
+	"ubscache/internal/obs"
 	"ubscache/internal/sim"
 	"ubscache/internal/stats"
 	"ubscache/internal/trace"
@@ -86,12 +97,21 @@ func parseDesign(name string) (sim.FrontendFactory, error) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main so deferred writers (profiles, the NDJSON
+// stream, the metrics server) fire before exit.
+func run() int {
 	var (
 		wl        = flag.String("workload", "server_001", "workload name (see tracegen -list)")
 		traceFile = flag.String("trace", "", "simulate a UBST trace file instead of a synthetic workload")
 		design    = flag.String("design", "ubs", "instruction cache design")
 		warmup    = flag.Uint64("warmup", 0, "warmup instructions (0 = default)")
 		measure   = flag.Uint64("measure", 0, "measured instructions (0 = default)")
+		statsJSON = flag.String("stats-json", "", "stream NDJSON heartbeat records and a final manifest to this file")
+		httpAddr  = flag.String("http", "", "serve live metrics over HTTP at this address (e.g. :8080; /metrics, /vars)")
+		hbEvery   = flag.Uint64("hb", 0, "heartbeat period in cycles (0 = the sampling interval)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -101,12 +121,12 @@ func main() {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -128,7 +148,7 @@ func main() {
 	factory, err := parseDesign(*design)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	params := sim.DefaultParams()
 	if *warmup > 0 {
@@ -137,33 +157,75 @@ func main() {
 	if *measure > 0 {
 		params.Measure = *measure
 	}
+	params.HeartbeatEvery = *hbEvery
+
+	var observers obs.Observers
+	if *statsJSON != "" {
+		f, err := os.Create(*statsJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		observers = append(observers, obs.NewNDJSON(f))
+	}
+	if *httpAddr != "" {
+		srv := obs.NewServer()
+		addr, stopSrv, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "ubsim: serving metrics on http://%s/metrics\n", addr)
+		observers = append(observers, srv)
+	}
+	if len(observers) > 0 {
+		params.Observer = observers
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var res sim.Result
 	if *traceFile != "" {
 		r, err := trace.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer r.Close()
-		res, err = sim.RunSource(params, r, *traceFile, *design, factory)
+		res, err = sim.RunSourceContext(ctx, params, r, *traceFile, *design, factory)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return reportRunErr(err, *statsJSON)
 		}
 	} else {
 		wcfg, err := workload.ByName(*wl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		res, err = sim.Run(params, wcfg, *design, factory)
+		res, err = sim.RunContext(ctx, params, wcfg, *design, factory)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return reportRunErr(err, *statsJSON)
 		}
 	}
 	printResult(res)
+	return 0
+}
+
+// reportRunErr distinguishes a clean signal-driven cancellation (partial
+// observability artifacts were still flushed) from a real failure.
+func reportRunErr(err error, statsJSON string) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "ubsim: interrupted; run cancelled at a heartbeat boundary")
+		if statsJSON != "" {
+			fmt.Fprintf(os.Stderr, "ubsim: partial heartbeat stream and manifest flushed to %s\n", statsJSON)
+		}
+		return 130
+	}
+	fmt.Fprintln(os.Stderr, err)
+	return 1
 }
 
 func printResult(res sim.Result) {

@@ -20,12 +20,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"ubscache/internal/bench"
 	"ubscache/internal/exp"
@@ -150,8 +154,20 @@ func run() int {
 	if *verbose {
 		sw.Progress = os.Stderr
 	}
-	outc, err := sw.Run()
+	// SIGINT/SIGTERM cancel the sweep at the next heartbeat interval;
+	// completed runs are flushed to results.json instead of being lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	outc, err := sw.RunContext(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && outc != nil {
+			fmt.Fprintf(os.Stderr, "ubsweep: interrupted; %d completed run(s) preserved", len(outc.Results.Runs))
+			if resultsPath != "" {
+				fmt.Fprintf(os.Stderr, " in %s", resultsPath)
+			}
+			fmt.Fprintln(os.Stderr)
+			return 130
+		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

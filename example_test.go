@@ -1,8 +1,10 @@
 package ubscache_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"ubscache"
 )
@@ -24,6 +26,48 @@ func Example() {
 	fmt.Println(rep.Workload, rep.Design, rep.Core.Instructions >= 50_000)
 	// Output:
 	// spec_001 ubs true
+}
+
+// ExampleSimulateContext runs a simulation under a context deadline; the
+// run is cancelled between heartbeat intervals if the deadline expires.
+func ExampleSimulateContext() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	w, err := ubscache.Workload("client_001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := ubscache.Quick()
+	opts.Warmup = 20_000
+	opts.Measure = 50_000
+
+	rep, err := ubscache.SimulateContext(ctx, ubscache.UBS(), w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Design, rep.Core.Instructions >= 50_000)
+	// Output:
+	// ubs true
+}
+
+// ExampleRunExperiment regenerates one paper artifact with the
+// options-first experiment API.
+func ExampleRunExperiment() {
+	opts := ubscache.Quick()
+	opts.Warmup = 20_000
+	opts.Measure = 50_000
+
+	out, err := ubscache.RunExperiment("table2", ubscache.ExperimentOptions{
+		Options:   opts,
+		PerFamily: 1, // one workload per family keeps the run short
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(out) > 0)
+	// Output:
+	// true
 }
 
 // ExampleUBSCustom shows how to explore a non-default UBS configuration.

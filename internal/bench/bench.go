@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -35,6 +36,9 @@ type Case struct {
 // simInstrs is the measured-instruction count of the end-to-end case.
 const simInstrs = 100_000
 
+// obsInstrs is the per-op instruction count of the NilObserver case.
+const obsInstrs = 10_000
+
 // Cases returns the suite in a stable order.
 func Cases() []Case {
 	return []Case{
@@ -43,6 +47,7 @@ func Cases() []Case {
 		{Name: "DataCacheLoad", Bench: benchDataCacheLoad},
 		{Name: "UBSFetch", Bench: benchUBSFetch},
 		{Name: "SimInstr", InstrsPerOp: simInstrs, Bench: benchSimInstr},
+		{Name: "NilObserver", InstrsPerOp: obsInstrs, Bench: benchNilObserver},
 	}
 }
 
@@ -136,6 +141,42 @@ func benchSimInstr(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(p, wcfg, "ubs", factory); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchNilObserver pins the observability subsystem's zero-cost contract:
+// with no observer attached and sampling off, the steady-state Advance
+// loop must report 0 allocs/op. CI gates on this case (`-benchtime 1x`).
+func benchNilObserver(b *testing.B) {
+	wcfg, err := workload.Preset(workload.FamilyServer, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := workload.New(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sim.DefaultParams()
+	p.Warmup = 0
+	p.SampleInterval = 0
+	m, err := sim.NewMachine(context.Background(), p, src, wcfg.Name, "ubs", sim.UBSFactory(ubs.DefaultConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Warmup(); err != nil {
+		b.Fatal(err)
+	}
+	// Reach steady state before measuring: cold-start fills grow the
+	// MSHR/cache side structures.
+	if err := m.Advance(200_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Advance(obsInstrs); err != nil {
 			b.Fatal(err)
 		}
 	}

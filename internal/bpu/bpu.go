@@ -84,6 +84,9 @@ type BPU struct {
 	weights [][]int8 // [table][entry]
 	bias    []int8
 	history uint64
+	// idxScratch backs predictDirection's per-table index list; the
+	// returned slice is only valid until the next prediction.
+	idxScratch []int
 
 	btbTags    [][]uint64 // [set][way], 0 = invalid
 	btbTargets [][]uint64
@@ -127,6 +130,7 @@ func New(cfg Config) *BPU {
 		b.weights[i] = make([]int8, cfg.TableEntries)
 	}
 	b.bias = make([]int8, cfg.TableEntries)
+	b.idxScratch = make([]int, cfg.Tables)
 	b.btbSets = cfg.BTBEntries / cfg.BTBWays
 	b.btbTags = make([][]uint64, b.btbSets)
 	b.btbTargets = make([][]uint64, b.btbSets)
@@ -173,9 +177,10 @@ func (b *BPU) tableIndex(i int, pc uint64) int {
 	return int(h) & (b.cfg.TableEntries - 1)
 }
 
-// predictDirection computes the perceptron sum for pc.
+// predictDirection computes the perceptron sum for pc. The returned idx
+// slice aliases a scratch buffer and is overwritten by the next call.
 func (b *BPU) predictDirection(pc uint64) (taken bool, sum int, idx []int) {
-	idx = make([]int, b.cfg.Tables)
+	idx = b.idxScratch
 	sum = int(b.bias[int(mix(pc>>2))&(b.cfg.TableEntries-1)])
 	for i := 0; i < b.cfg.Tables; i++ {
 		idx[i] = b.tableIndex(i, pc)

@@ -143,9 +143,13 @@ type Core struct {
 	rob      []robEntry
 	robHead  int
 	robCount int
-	decode   []decodeItem
-	seq      uint64
-	doneRing [512]uint64 // completion cycles by sequence number
+	// decode is a head-indexed FIFO: decodeHead..len(decode) is live.
+	// Draining by advancing the head (not re-slicing) keeps the backing
+	// array reusable, so steady state performs no allocations.
+	decode     []decodeItem
+	decodeHead int
+	seq        uint64
+	doneRing   [512]uint64 // completion cycles by sequence number
 
 	// Front-end redirect state.
 	waitMispredict bool
@@ -199,7 +203,22 @@ func (c *Core) Cycle() {
 func (c *Core) Run(n uint64) bool {
 	target := c.stats.Instructions + n
 	for c.stats.Instructions < target {
-		if c.ftq.SourceDone() && c.ftq.Len() == 0 && c.robCount == 0 && len(c.decode) == 0 {
+		if c.ftq.SourceDone() && c.ftq.Len() == 0 && c.robCount == 0 && c.decodeLen() == 0 {
+			return false
+		}
+		c.Cycle()
+	}
+	return true
+}
+
+// RunUntil executes until instructions have retired or the cycle counter
+// reaches cycleCeil, whichever comes first (both measured from the last
+// stats reset, like Stats itself). It lets callers chop a long run into
+// cycle-bounded slices — the heartbeat/cancellation windows of package
+// sim — and returns false if the trace ended first.
+func (c *Core) RunUntil(instructions, cycleCeil uint64) bool {
+	for c.stats.Instructions < instructions && c.stats.Cycles < cycleCeil {
+		if c.ftq.SourceDone() && c.ftq.Len() == 0 && c.robCount == 0 && c.decodeLen() == 0 {
 			return false
 		}
 		c.Cycle()
@@ -239,16 +258,41 @@ func (c *Core) schedBusy(now uint64) (sched, loads, stores int) {
 	return sched, loads, stores
 }
 
+// decodeLen returns the decode-queue occupancy.
+func (c *Core) decodeLen() int { return len(c.decode) - c.decodeHead }
+
+// pushDecode enqueues d. When the buffer runs out of spare capacity it
+// compacts the live window to the front instead of growing, so the
+// steady-state fetch/dispatch cycle never reallocates.
+func (c *Core) pushDecode(d decodeItem) {
+	if c.decodeHead > 0 && len(c.decode) == cap(c.decode) {
+		n := copy(c.decode, c.decode[c.decodeHead:])
+		c.decode = c.decode[:n]
+		c.decodeHead = 0
+	}
+	c.decode = append(c.decode, d)
+}
+
+// popDecode drops the queue head, rewinding to the start of the backing
+// array whenever the queue drains.
+func (c *Core) popDecode() {
+	c.decodeHead++
+	if c.decodeHead == len(c.decode) {
+		c.decode = c.decode[:0]
+		c.decodeHead = 0
+	}
+}
+
 // dispatch moves instructions from the decode queue into the ROB,
 // computing their completion times.
 func (c *Core) dispatch(now uint64) {
-	if len(c.decode) == 0 {
+	if c.decodeLen() == 0 {
 		return
 	}
 	sched, loads, stores := c.schedBusy(now)
 	width := c.cfg.DecodeWidth
-	for width > 0 && len(c.decode) > 0 && c.robCount < c.cfg.ROBSize {
-		d := &c.decode[0]
+	for width > 0 && c.decodeLen() > 0 && c.robCount < c.cfg.ROBSize {
+		d := &c.decode[c.decodeHead]
 		if d.readyAt > now || sched >= c.cfg.SchedSize {
 			return
 		}
@@ -320,7 +364,7 @@ func (c *Core) dispatch(now uint64) {
 			// The redirect reaches fetch when the branch executes.
 			c.redirectAt = done + c.cfg.RedirectLat
 		}
-		c.decode = c.decode[1:]
+		c.popDecode()
 		width--
 	}
 }
@@ -359,7 +403,7 @@ func (c *Core) fetch(now uint64) {
 		}
 		return
 	}
-	if len(c.decode) >= c.cfg.DecodeQueue {
+	if c.decodeLen() >= c.cfg.DecodeQueue {
 		c.stall(StallBackpressure)
 		return
 	}
@@ -412,7 +456,7 @@ func (c *Core) fetch(now uint64) {
 	case r.Kind == icache.Hit:
 		for i := 0; i < count; i++ {
 			it := c.ftq.Peek(i)
-			c.decode = append(c.decode, decodeItem{
+			c.pushDecode(decodeItem{
 				item:    *it,
 				readyAt: now + c.ic.Latency() + c.cfg.DecodeLat,
 			})

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -33,6 +34,18 @@ type Options struct {
 	// sim.Run calls. The runner subsystem injects its parallel memoizing
 	// store here; p is already normalised.
 	Exec func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
+	// Context, when non-nil, cancels in-flight simulations between
+	// heartbeat intervals (see sim.RunContext). Exec implementations are
+	// expected to honour their own context.
+	Context context.Context
+}
+
+// ctx returns the effective context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // params returns Opts.Params normalised field-by-field: zero-valued
@@ -219,7 +232,7 @@ func (r *Runner) run(wcfg workload.Config, design string, factory sim.FrontendFa
 	if r.Opts.Exec != nil {
 		res, err = r.Opts.Exec(r.Opts.params(), wcfg, design, factory)
 	} else {
-		res, err = sim.Run(r.Opts.params(), wcfg, design, factory)
+		res, err = sim.RunContext(r.Opts.ctx(), r.Opts.params(), wcfg, design, factory)
 	}
 	if err != nil {
 		return sim.Result{}, err

@@ -115,6 +115,9 @@ func (cv *Conventional) Cache() *cache.Cache { return cv.c }
 // Stats returns the accumulated counters.
 func (cv *Conventional) Stats() Stats { return cv.stats }
 
+// MSHRInFlight reports the live MSHR occupancy at cycle now.
+func (cv *Conventional) MSHRInFlight(now uint64) int { return cv.mshr.InFlight(now) }
+
 // Efficiency reports the storage-efficiency metric.
 func (cv *Conventional) Efficiency() (float64, bool) { return cv.c.Efficiency() }
 

@@ -182,6 +182,9 @@ func (d *Distill) Latency() uint64 { return d.cfg.Lat }
 // Stats returns the accumulated counters.
 func (d *Distill) Stats() Stats { return d.stats }
 
+// MSHRInFlight reports the live MSHR occupancy at cycle now.
+func (d *Distill) MSHRInFlight(now uint64) int { return d.mshr.InFlight(now) }
+
 // Efficiency combines both halves.
 func (d *Distill) Efficiency() (float64, bool) {
 	var used, total float64

@@ -124,3 +124,10 @@ type Frontend interface {
 	// Latency returns the hit latency in cycles.
 	Latency() uint64
 }
+
+// MSHROccupant is an optional Frontend extension reporting the live L1-I
+// MSHR fill level at a given cycle. All bundled frontends implement it;
+// the observability layer uses it for heartbeat MSHR-occupancy gauges.
+type MSHROccupant interface {
+	MSHRInFlight(now uint64) int
+}

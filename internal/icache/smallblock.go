@@ -103,6 +103,9 @@ func (sb *SmallBlock) Latency() uint64 { return sb.cfg.Lat }
 // Stats returns the accumulated counters.
 func (sb *SmallBlock) Stats() Stats { return sb.stats }
 
+// MSHRInFlight reports the live MSHR occupancy at cycle now.
+func (sb *SmallBlock) MSHRInFlight(now uint64) int { return sb.mshr.InFlight(now) }
+
 // Efficiency reports the storage-efficiency metric over the L1 array.
 func (sb *SmallBlock) Efficiency() (float64, bool) { return sb.c.Efficiency() }
 

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full text exposition output for a
+// small registry, byte for byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("heartbeats").Add(3)
+	r.Gauge("progress").Set(0.25)
+	h := r.Histogram("rolling_ipc_hist", []float64{0.5, 1})
+	h.Observe(0.4)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, r.Snapshot(), "ubsim"); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE ubsim_heartbeats counter
+ubsim_heartbeats 3
+# TYPE ubsim_progress gauge
+ubsim_progress 0.25
+# TYPE ubsim_rolling_ipc_hist histogram
+ubsim_rolling_ipc_hist_bucket{le="0.5"} 1
+ubsim_rolling_ipc_hist_bucket{le="1"} 2
+ubsim_rolling_ipc_hist_bucket{le="+Inf"} 3
+ubsim_rolling_ipc_hist_sum 3.15
+ubsim_rolling_ipc_hist_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromNameSanitised(t *testing.T) {
+	if got := promName("", "l1d.mshr merges"); got != "l1d_mshr_merges" {
+		t.Errorf("promName = %q", got)
+	}
+	if got := promName("ns", "9lives"); got != "ns_9lives" {
+		t.Errorf("promName with namespace = %q", got)
+	}
+}
+
+// fakeRun drives an observer through a short synthetic run lifecycle.
+func fakeRun(ob Observer, beats int, err error) *Registry {
+	reg := NewRegistry()
+	reg.Counter("fetches").Add(1)
+	info := RunInfo{Workload: "w", Design: "d", Warmup: 10, Measure: 100, HeartbeatEvery: 50}
+	ob.BeginRun(info, reg)
+	hb := Heartbeat{Workload: "w", Design: "d", Phase: "measure", Target: 100}
+	for i := 0; i < beats; i++ {
+		hb.Seq = i + 1
+		hb.Instructions = uint64(10 * (i + 1))
+		hb.Cycles = uint64(20 * (i + 1))
+		reg.Counter("fetches").Add(7)
+		ob.Heartbeat(&hb)
+	}
+	hb.Phase = "final"
+	ob.EndRun(&hb, err)
+	return reg
+}
+
+func TestNDJSONStream(t *testing.T) {
+	var b bytes.Buffer
+	n := NewNDJSON(&b)
+	fakeRun(n, 3, nil)
+	if n.Beats() != 3 {
+		t.Errorf("Beats = %d, want 3", n.Beats())
+	}
+
+	var types []string
+	sc := bufio.NewScanner(&b)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		types = append(types, rec["type"].(string))
+		switch rec["type"] {
+		case "begin":
+			if rec["workload"] != "w" || rec["heartbeat_every"] != float64(50) {
+				t.Errorf("begin record = %v", rec)
+			}
+		case "manifest":
+			if rec["heartbeats"] != float64(3) {
+				t.Errorf("manifest heartbeats = %v", rec["heartbeats"])
+			}
+			final := rec["final"].(map[string]any)
+			if final["phase"] != "final" {
+				t.Errorf("manifest final phase = %v", final["phase"])
+			}
+			metrics := rec["metrics"].(map[string]any)
+			if metrics["fetches"] != float64(22) {
+				t.Errorf("manifest metrics = %v", metrics)
+			}
+			if _, ok := rec["error"]; ok {
+				t.Error("manifest has error on clean run")
+			}
+		}
+	}
+	if want := []string{"begin", "heartbeat", "heartbeat", "heartbeat", "manifest"}; !equalStrings(types, want) {
+		t.Errorf("record types = %v, want %v", types, want)
+	}
+}
+
+func TestNDJSONError(t *testing.T) {
+	var b bytes.Buffer
+	n := NewNDJSON(&b)
+	fakeRun(n, 1, errors.New("boom"))
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	last := lines[len(lines)-1]
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(last), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["type"] != "manifest" || rec["error"] != "boom" {
+		t.Errorf("manifest = %v", rec)
+	}
+}
+
+func TestHTTPServerEndpoints(t *testing.T) {
+	s := NewServer()
+	fakeRun(s, 2, nil)
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return b.String()
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE ubsim_fetches counter",
+		"ubsim_fetches 15", // snapshot taken at the last heartbeat: 1 + 2*7
+		"ubsim_run_progress 0.2",
+		"ubsim_run_active 0", // EndRun marked the run done
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	var vars struct {
+		Run       RunInfo            `json:"run"`
+		Done      bool               `json:"done"`
+		Heartbeat *Heartbeat         `json:"heartbeat"`
+		Metrics   map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(get("/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Run.Workload != "w" || !vars.Done {
+		t.Errorf("/vars run = %+v done = %v", vars.Run, vars.Done)
+	}
+	if vars.Heartbeat == nil || vars.Heartbeat.Phase != "final" {
+		t.Errorf("/vars heartbeat = %+v", vars.Heartbeat)
+	}
+
+	if got := get("/healthz"); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+}
+
+func TestObserversFanOutAndFuncObserver(t *testing.T) {
+	var begins, beats, ends int
+	mk := func() Observer {
+		return FuncObserver{
+			OnBegin:     func(RunInfo, *Registry) { begins++ },
+			OnHeartbeat: func(*Heartbeat) { beats++ },
+			OnEnd:       func(*Heartbeat, error) { ends++ },
+		}
+	}
+	fakeRun(Observers{mk(), mk()}, 2, context.Canceled)
+	if begins != 2 || beats != 4 || ends != 2 {
+		t.Errorf("fan-out counts: begins=%d beats=%d ends=%d", begins, beats, ends)
+	}
+	// A FuncObserver with nil members must not panic.
+	fakeRun(FuncObserver{}, 1, nil)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Server exposes a live run over HTTP. It implements Observer: at every
+// heartbeat it captures (on the simulation goroutine, so source reads are
+// race-free) a copy of the heartbeat and a full registry snapshot, which
+// the handlers then serve without ever touching live simulation state.
+//
+// Endpoints:
+//
+//	/metrics     Prometheus text exposition format
+//	/vars        expvar-style JSON: run info, last heartbeat, metric map
+//	/healthz     "ok"
+type Server struct {
+	// Namespace prefixes Prometheus metric names (default "ubsim").
+	Namespace string
+
+	mu    sync.Mutex
+	info  RunInfo
+	reg   *Registry
+	last  Heartbeat
+	hasHB bool
+	snap  Snapshot
+	done  bool
+	err   error
+}
+
+var _ Observer = (*Server)(nil)
+
+// NewServer returns a Server with the default namespace.
+func NewServer() *Server { return &Server{Namespace: "ubsim"} }
+
+// BeginRun implements Observer.
+func (s *Server) BeginRun(info RunInfo, reg *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.info, s.reg, s.done, s.err, s.hasHB = info, reg, false, nil, false
+	s.snap = reg.Snapshot()
+}
+
+// Heartbeat implements Observer.
+func (s *Server) Heartbeat(hb *Heartbeat) {
+	snap := Snapshot{}
+	s.mu.Lock()
+	reg := s.reg
+	s.mu.Unlock()
+	if reg != nil {
+		snap = reg.Snapshot() // on the sim goroutine: sources are safe
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last, s.hasHB, s.snap = *hb, true, snap
+}
+
+// EndRun implements Observer.
+func (s *Server) EndRun(final *Heartbeat, err error) {
+	snap := Snapshot{}
+	s.mu.Lock()
+	reg := s.reg
+	s.mu.Unlock()
+	if reg != nil {
+		snap = reg.Snapshot()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if final != nil {
+		s.last, s.hasHB = *final, true
+	}
+	s.snap, s.done, s.err = snap, true, err
+}
+
+// Handler returns the HTTP handler serving /metrics, /vars and /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/vars", s.serveVars)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snap, last, hasHB, done := s.snap, s.last, s.hasHB, s.done
+	ns := s.Namespace
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, snap, ns)
+	// Run-level gauges derived from the heartbeat.
+	up := 0
+	if hasHB && !done {
+		up = 1
+	}
+	extra := Snapshot{Samples: []Sample{
+		{Name: "run_active", Kind: KindGauge, Value: float64(up)},
+	}}
+	if hasHB {
+		extra.Samples = append(extra.Samples,
+			Sample{Name: "run_progress", Kind: KindGauge, Value: last.Progress()},
+			Sample{Name: "run_rolling_ipc", Kind: KindGauge, Value: last.RollingIPC},
+			Sample{Name: "run_mpki", Kind: KindGauge, Value: last.MPKI},
+		)
+	}
+	WritePrometheus(w, extra, ns)
+}
+
+func (s *Server) serveVars(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := struct {
+		Run       RunInfo            `json:"run"`
+		Done      bool               `json:"done"`
+		Error     string             `json:"error,omitempty"`
+		Heartbeat *Heartbeat         `json:"heartbeat,omitempty"`
+		Metrics   map[string]float64 `json:"metrics"`
+	}{Run: s.info, Done: s.done, Metrics: s.snap.Map()}
+	if s.err != nil {
+		out.Error = s.err.Error()
+	}
+	if s.hasHB {
+		hb := s.last
+		out.Heartbeat = &hb
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves the
+// handler until stop is called. It returns the bound address so callers
+// using port 0 can discover the port.
+func (s *Server) Start(addr string) (bound net.Addr, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr(), func() { srv.Close() }, nil
+}

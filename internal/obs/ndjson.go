@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// NDJSON is an Observer that streams run events as newline-delimited JSON:
+// one "begin" record, one "heartbeat" record per heartbeat, and a closing
+// "manifest" record carrying the final heartbeat, the heartbeat count, the
+// terminal error (if any), and a full metric snapshot. Every record is a
+// single line, written with one Write call, so the stream is safe to tail
+// while the run is live.
+type NDJSON struct {
+	mu    sync.Mutex
+	w     io.Writer
+	reg   *Registry
+	info  RunInfo
+	beats int
+}
+
+var _ Observer = (*NDJSON)(nil)
+
+// NewNDJSON returns an NDJSON stream observer writing to w.
+func NewNDJSON(w io.Writer) *NDJSON { return &NDJSON{w: w} }
+
+// Beats returns the number of heartbeat records written so far.
+func (n *NDJSON) Beats() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.beats
+}
+
+func (n *NDJSON) writeLine(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	n.w.Write(append(data, '\n'))
+}
+
+// BeginRun implements Observer.
+func (n *NDJSON) BeginRun(info RunInfo, reg *Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.info, n.reg, n.beats = info, reg, 0
+	n.writeLine(struct {
+		Type string `json:"type"`
+		RunInfo
+	}{"begin", info})
+}
+
+// Heartbeat implements Observer.
+func (n *NDJSON) Heartbeat(hb *Heartbeat) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.beats++
+	n.writeLine(struct {
+		Type string `json:"type"`
+		*Heartbeat
+	}{"heartbeat", hb})
+}
+
+// EndRun implements Observer.
+func (n *NDJSON) EndRun(final *Heartbeat, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rec := struct {
+		Type       string             `json:"type"`
+		Run        RunInfo            `json:"run"`
+		Heartbeats int                `json:"heartbeats"`
+		Error      string             `json:"error,omitempty"`
+		Final      *Heartbeat         `json:"final"`
+		Metrics    map[string]float64 `json:"metrics,omitempty"`
+	}{Type: "manifest", Run: n.info, Heartbeats: n.beats, Final: final}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if n.reg != nil {
+		rec.Metrics = n.reg.Snapshot().Map()
+	}
+	n.writeLine(rec)
+}

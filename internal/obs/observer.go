@@ -1,0 +1,136 @@
+package obs
+
+// RunInfo identifies one simulation run to its observers.
+type RunInfo struct {
+	Workload string `json:"workload"`
+	Design   string `json:"design"`
+	// Warmup and Measure are the configured instruction counts.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	// HeartbeatEvery is the heartbeat period in cycles.
+	HeartbeatEvery uint64 `json:"heartbeat_every"`
+}
+
+// Heartbeat is one periodic progress snapshot of a running simulation.
+// Counters are phase-relative (they restart at zero when measurement
+// begins); Rolling* rates cover only the interval since the previous
+// heartbeat. Fields whose metric does not apply to the running design
+// (PredictorHitRate on non-UBS caches, Efficiency on an empty cache) are
+// negative.
+type Heartbeat struct {
+	Workload string `json:"workload"`
+	Design   string `json:"design"`
+	// Phase is "warmup", "measure", or "final" (the closing heartbeat
+	// passed to EndRun).
+	Phase string `json:"phase"`
+	// Seq numbers heartbeats from 1 within the run.
+	Seq int `json:"seq"`
+
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	// Target is the phase's instruction goal, so Instructions/Target is
+	// the phase progress.
+	Target uint64 `json:"target"`
+
+	IPC         float64 `json:"ipc"`
+	RollingIPC  float64 `json:"rolling_ipc"`
+	MPKI        float64 `json:"mpki"`
+	RollingMPKI float64 `json:"rolling_mpki"`
+
+	// L1-I demand counters and the partial-miss taxonomy (§IV-E).
+	Fetches         uint64 `json:"fetches"`
+	Misses          uint64 `json:"misses"`
+	FullMisses      uint64 `json:"full_misses"`
+	MissingSubBlock uint64 `json:"missing_sub_block"`
+	Overruns        uint64 `json:"overruns"`
+	Underruns       uint64 `json:"underruns"`
+
+	// MSHROccupancy is the L1-I MSHR fill level at the heartbeat cycle
+	// (-1 when the frontend does not report it).
+	MSHROccupancy int `json:"mshr_occupancy"`
+	// Efficiency is the latest storage-efficiency sample (§III), -1 when
+	// unavailable.
+	Efficiency float64 `json:"storage_efficiency"`
+	// PredictorHitRate is the fraction of demand hits served by the UBS
+	// useful-byte predictor, -1 on non-UBS designs.
+	PredictorHitRate float64 `json:"predictor_hit_rate"`
+	// BranchMPKI is the branch mispredictions per kilo-instruction.
+	BranchMPKI float64 `json:"branch_mpki"`
+}
+
+// Progress returns Instructions/Target in [0,1].
+func (hb *Heartbeat) Progress() float64 {
+	if hb.Target == 0 {
+		return 0
+	}
+	p := float64(hb.Instructions) / float64(hb.Target)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Observer receives run lifecycle events. All methods are invoked
+// synchronously from the simulation goroutine: BeginRun once before the
+// first cycle, Heartbeat once per heartbeat interval (the *Heartbeat is
+// reused across calls — copy it to retain), and EndRun exactly once with
+// the final heartbeat and the run's terminal error (nil on success,
+// context.Canceled on cancellation).
+type Observer interface {
+	BeginRun(info RunInfo, reg *Registry)
+	Heartbeat(hb *Heartbeat)
+	EndRun(final *Heartbeat, err error)
+}
+
+// Observers fans events out to each member in order.
+type Observers []Observer
+
+// BeginRun implements Observer.
+func (os Observers) BeginRun(info RunInfo, reg *Registry) {
+	for _, o := range os {
+		o.BeginRun(info, reg)
+	}
+}
+
+// Heartbeat implements Observer.
+func (os Observers) Heartbeat(hb *Heartbeat) {
+	for _, o := range os {
+		o.Heartbeat(hb)
+	}
+}
+
+// EndRun implements Observer.
+func (os Observers) EndRun(final *Heartbeat, err error) {
+	for _, o := range os {
+		o.EndRun(final, err)
+	}
+}
+
+// FuncObserver adapts plain functions to Observer; nil members are
+// skipped.
+type FuncObserver struct {
+	OnBegin     func(info RunInfo, reg *Registry)
+	OnHeartbeat func(hb *Heartbeat)
+	OnEnd       func(final *Heartbeat, err error)
+}
+
+// BeginRun implements Observer.
+func (f FuncObserver) BeginRun(info RunInfo, reg *Registry) {
+	if f.OnBegin != nil {
+		f.OnBegin(info, reg)
+	}
+}
+
+// Heartbeat implements Observer.
+func (f FuncObserver) Heartbeat(hb *Heartbeat) {
+	if f.OnHeartbeat != nil {
+		f.OnHeartbeat(hb)
+	}
+}
+
+// EndRun implements Observer.
+func (f FuncObserver) EndRun(final *Heartbeat, err error) {
+	if f.OnEnd != nil {
+		f.OnEnd(final, err)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metric names are namespaced ("<ns>_<name>" when
+// ns is non-empty) and sanitised to the [a-zA-Z0-9_:] alphabet; counters,
+// gauges, and histograms carry the matching # TYPE annotations. Output is
+// deterministic: samples are already name-sorted inside the snapshot.
+func WritePrometheus(w io.Writer, s Snapshot, ns string) error {
+	for _, sm := range s.Samples {
+		name := promName(ns, sm.Name)
+		typ := "counter"
+		if sm.Kind == KindGauge {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
+			name, typ, name, promFloat(sm.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		name := promName(ns, h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			name, promFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName joins the namespace and sanitises the result to a legal
+// Prometheus metric name.
+func promName(ns, name string) string {
+	if ns != "" {
+		name = ns + "_" + name
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat formats v the way Prometheus clients do: shortest
+// round-trippable representation.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

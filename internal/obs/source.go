@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// appendSourceSamples flattens v's exported numeric fields into samples.
+// Pointers are dereferenced; embedded (anonymous) struct fields flatten
+// into the parent prefix; named struct fields extend the prefix with their
+// snake_case name; arrays and slices of numerics emit one sample per index.
+// Non-numeric leaves (strings, bools, maps, funcs...) are skipped, so any
+// Stats struct is safe to register as-is.
+func appendSourceSamples(dst []Sample, prefix string, v any) []Sample {
+	if v == nil {
+		return dst
+	}
+	return walkValue(dst, prefix, reflect.ValueOf(v))
+}
+
+func walkValue(dst []Sample, name string, v reflect.Value) []Sample {
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return dst
+		}
+		return walkValue(dst, name, v.Elem())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return append(dst, Sample{Name: name, Kind: KindCounter, Value: float64(v.Uint())})
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return append(dst, Sample{Name: name, Kind: KindCounter, Value: float64(v.Int())})
+	case reflect.Float32, reflect.Float64:
+		return append(dst, Sample{Name: name, Kind: KindCounter, Value: v.Float()})
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			dst = walkValue(dst, name+"_"+strconv.Itoa(i), v.Index(i))
+		}
+		return dst
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			child := name
+			if !f.Anonymous {
+				child = name + "_" + snakeCase(f.Name)
+			}
+			dst = walkValue(dst, child, v.Field(i))
+		}
+		return dst
+	default:
+		return dst // non-numeric leaf: skipped
+	}
+}
+
+// snakeCase converts a Go field name to snake_case, keeping initialisms
+// together: "PredictorHits" -> "predictor_hits", "MSHRStalls" ->
+// "mshr_stalls", "ByKind" -> "by_kind".
+func snakeCase(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	runes := []rune(s)
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			// A boundary sits before an upper-case rune that follows a
+			// lower-case/digit rune, or that starts a new word after an
+			// initialism ("MSHRStalls": boundary before the 'S' of Stalls).
+			prevLower := i > 0 && !unicode.IsUpper(runes[i-1]) && runes[i-1] != '_'
+			nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+			if i > 0 && (prevLower || (unicode.IsUpper(runes[i-1]) && nextLower)) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

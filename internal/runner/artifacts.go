@@ -48,13 +48,19 @@ type ExperimentRecord struct {
 	// Runs lists the keys of this experiment's simulation points in
 	// request order, indexing the top-level runs array.
 	Runs []string `json:"runs"`
+	// Rollup aggregates the experiment's simulation points: runs,
+	// ipc_geomean, l1i_mpki_mean, cycles, instructions, sim_seconds.
+	Rollup map[string]float64 `json:"rollup,omitempty"`
 }
 
 // ResultsFile is the results.json schema.
 type ResultsFile struct {
-	Schema      int                `json:"schema"`
-	Spec        Spec               `json:"spec"`
-	Workers     int                `json:"workers"`
+	Schema  int  `json:"schema"`
+	Spec    Spec `json:"spec"`
+	Workers int  `json:"workers"`
+	// Interrupted marks a partial flush from a cancelled sweep: Runs holds
+	// only the points that completed, and Experiments is empty.
+	Interrupted bool               `json:"interrupted,omitempty"`
 	WallSeconds float64            `json:"wall_seconds"`
 	Experiments []ExperimentRecord `json:"experiments"`
 	Runs        []RunRecord        `json:"runs"`
@@ -80,6 +86,33 @@ func record(key string, p sim.Params, res sim.Result, meta RunMeta, experiments 
 		Seconds:      meta.Seconds,
 		FromCache:    meta.Disk,
 		Experiments:  experiments,
+	}
+}
+
+// rollup aggregates one experiment's completed simulation points into the
+// per-experiment metric summary of results.json.
+func rollup(keys []string, store *Store, simSec float64) map[string]float64 {
+	var (
+		ipcs, mpkis   []float64
+		cycles, instr uint64
+	)
+	for _, key := range keys {
+		res, ok := store.Result(key)
+		if !ok {
+			continue
+		}
+		ipcs = append(ipcs, res.IPC())
+		mpkis = append(mpkis, res.MPKI())
+		cycles += res.Core.Cycles
+		instr += res.Core.Instructions
+	}
+	return map[string]float64{
+		"runs":          float64(len(ipcs)),
+		"ipc_geomean":   stats.Geomean(ipcs),
+		"l1i_mpki_mean": stats.Mean(mpkis),
+		"cycles":        float64(cycles),
+		"instructions":  float64(instr),
+		"sim_seconds":   simSec,
 	}
 }
 

@@ -1,12 +1,15 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
 	"time"
 
 	"ubscache/internal/exp"
+	"ubscache/internal/sim"
+	"ubscache/internal/workload"
 )
 
 // Sweep runs a Spec end to end. Execution has four phases:
@@ -56,6 +59,15 @@ type expPlan struct {
 
 // Run executes the sweep.
 func (sw *Sweep) Run() (*Outcome, error) {
+	return sw.RunContext(context.Background())
+}
+
+// RunContext is Run honouring ctx. On cancellation the warm phase stops
+// dispatching, in-flight simulations unwind at their next heartbeat
+// interval, and — instead of rendering — the completed runs are flushed to
+// ResultsPath (marked "interrupted") so partial progress survives; the
+// returned Outcome carries those runs alongside ctx's error.
+func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 	start := time.Now()
 	store := sw.Store
 	if store == nil {
@@ -64,7 +76,9 @@ func (sw *Sweep) Run() (*Outcome, error) {
 	r := exp.NewRunner(exp.Options{
 		Params:    sw.Spec.SimParams(),
 		PerFamily: sw.Spec.PerFamily,
-		Exec:      store.Run,
+		Exec: func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
+			return store.RunContext(ctx, p, wcfg, design, factory)
+		},
 	})
 
 	// Phase 1: capture. Points are deduplicated across experiments by
@@ -99,7 +113,7 @@ func (sw *Sweep) Run() (*Outcome, error) {
 				tasks = append(tasks, Task{
 					Name: pt.Workload.Name + "/" + pt.Design,
 					Run: func() error {
-						_, err := store.Run(pt.Params, pt.Workload, pt.Design, pt.Factory)
+						_, err := store.RunContext(ctx, pt.Params, pt.Workload, pt.Design, pt.Factory)
 						return err
 					},
 				})
@@ -123,7 +137,10 @@ func (sw *Sweep) Run() (*Outcome, error) {
 			len(ids), len(tasks), workers)
 	}
 	sched := &Scheduler{Workers: workers, Progress: sw.Progress}
-	if err := sched.Run(tasks); err != nil {
+	if err := sched.RunContext(ctx, tasks); err != nil {
+		if ctx.Err() != nil {
+			return sw.flushPartial(ctx, store, order, points, usedBy, workers, start)
+		}
 		return nil, err
 	}
 
@@ -147,6 +164,7 @@ func (sw *Sweep) Run() (*Outcome, error) {
 		rf.Experiments = append(rf.Experiments, ExperimentRecord{
 			ID: pl.e.ID, Title: pl.e.Title, Paper: pl.e.Paper,
 			SimSeconds: simSec, RenderSeconds: render, Runs: pl.keys,
+			Rollup: rollup(pl.keys, store, simSec),
 		})
 	}
 
@@ -186,4 +204,35 @@ func (sw *Sweep) Run() (*Outcome, error) {
 		}
 	}
 	return out, nil
+}
+
+// flushPartial salvages an interrupted sweep: every point the store
+// completed before cancellation becomes a results.json run record, the
+// file is marked interrupted, and rendering is skipped (tables over
+// partial data would silently misrepresent the artifact). The ctx error is
+// returned alongside the partial outcome.
+func (sw *Sweep) flushPartial(ctx context.Context, store *Store, order []string,
+	points map[string]exp.SimPoint, usedBy map[string][]string,
+	workers int, start time.Time) (*Outcome, error) {
+	rf := ResultsFile{Schema: 1, Spec: sw.Spec, Workers: workers, Interrupted: true,
+		Runs: []RunRecord{}} // an all-cancelled sweep still writes "runs": []
+	for _, key := range order {
+		res, ok := store.Result(key)
+		if !ok {
+			continue
+		}
+		rf.Runs = append(rf.Runs, record(key, points[key].Params, res, store.Meta(key), usedBy[key]))
+	}
+	rf.WallSeconds = time.Since(start).Seconds()
+	out := &Outcome{Results: rf}
+	if sw.ResultsPath != "" {
+		if err := WriteResults(sw.ResultsPath, &rf); err != nil {
+			return out, fmt.Errorf("runner: interrupted (%w); flushing partial results: %v", ctx.Err(), err)
+		}
+		if sw.Progress != nil {
+			fmt.Fprintf(sw.Progress, "runner: interrupted; flushed %d completed run(s) to %s\n",
+				len(rf.Runs), sw.ResultsPath)
+		}
+	}
+	return out, ctx.Err()
 }

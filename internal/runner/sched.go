@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -27,6 +28,14 @@ type Scheduler struct {
 // Run executes every task and returns the joined errors. A failing or
 // panicking task does not stop the others.
 func (s *Scheduler) Run(tasks []Task) error {
+	return s.RunContext(context.Background(), tasks)
+}
+
+// RunContext is Run honouring ctx: once ctx is cancelled no further task
+// is dispatched (in-flight tasks are expected to observe ctx themselves)
+// and ctx.Err() joins the returned errors. Undispatched tasks are not
+// error'd individually, so partial progress remains usable.
+func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) error {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -71,12 +80,28 @@ func (s *Scheduler) Run(tasks []Task) error {
 			}
 		}()
 	}
+	var ctxErr error
+dispatch:
 	for i := range tasks {
-		ch <- i
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
-	return errors.Join(errs...)
+	// A task interrupted mid-run reports ctx.Err() itself; fold those
+	// duplicates into the single cancellation error.
+	if ctxErr != nil {
+		for i, err := range errs {
+			if errors.Is(err, ctxErr) {
+				errs[i] = nil
+			}
+		}
+	}
+	return errors.Join(append(errs, ctxErr)...)
 }
 
 // runTask converts a task panic into an error so the pool survives it.

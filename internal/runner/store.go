@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -74,6 +75,13 @@ func NewStore(dir string) *Store {
 // most once per key no matter how many goroutines ask concurrently. Its
 // signature matches exp.Options.Exec.
 func (s *Store) Run(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
+	return s.RunContext(context.Background(), p, wcfg, design, factory)
+}
+
+// RunContext is Run honouring ctx: an uncached computation is cancelled
+// between heartbeat intervals (see sim.RunContext) and its error is not
+// memoized, so a resumed sweep retries the point.
+func (s *Store) RunContext(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
 	key := Key(p, wcfg, design)
 	s.mu.Lock()
 	if res, ok := s.results[key]; ok {
@@ -89,7 +97,7 @@ func (s *Store) Run(p sim.Params, wcfg workload.Config, design string, factory s
 	s.inflight[key] = f
 	s.mu.Unlock()
 
-	res, meta, err := s.compute(key, p, wcfg, design, factory)
+	res, meta, err := s.compute(ctx, key, p, wcfg, design, factory)
 	f.res, f.err = res, err
 	s.mu.Lock()
 	if err == nil {
@@ -117,12 +125,12 @@ func (s *Store) Meta(key string) RunMeta {
 	return s.meta[key]
 }
 
-func (s *Store) compute(key string, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, RunMeta, error) {
+func (s *Store) compute(ctx context.Context, key string, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, RunMeta, error) {
 	if res, sec, ok := s.loadDisk(key); ok {
 		return res, RunMeta{Seconds: sec, Disk: true}, nil
 	}
 	t0 := time.Now()
-	res, err := s.simulate(p, wcfg, design, factory)
+	res, err := s.simulate(ctx, p, wcfg, design, factory)
 	if err != nil {
 		return sim.Result{}, RunMeta{}, err
 	}
@@ -133,17 +141,16 @@ func (s *Store) compute(key string, p sim.Params, wcfg workload.Config, design s
 
 // simulate isolates per-run panics into errors so one bad design point
 // cannot take down a whole sweep.
-func (s *Store) simulate(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (res sim.Result, err error) {
+func (s *Store) simulate(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runner: %s on %s panicked: %v", design, wcfg.Name, r)
 		}
 	}()
-	runf := s.Sim
-	if runf == nil {
-		runf = sim.Run
+	if s.Sim != nil {
+		return s.Sim(p, wcfg, design, factory)
 	}
-	return runf(p, wcfg, design, factory)
+	return sim.RunContext(ctx, p, wcfg, design, factory)
 }
 
 // diskRecord is the on-disk cache entry; sim.Result round-trips through

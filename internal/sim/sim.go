@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ubscache/internal/bpu"
@@ -12,6 +13,7 @@ import (
 	"ubscache/internal/fdip"
 	"ubscache/internal/icache"
 	"ubscache/internal/mem"
+	"ubscache/internal/obs"
 	"ubscache/internal/trace"
 	"ubscache/internal/ubs"
 	"ubscache/internal/workload"
@@ -33,6 +35,19 @@ type Params struct {
 	// SampleInterval is the storage-efficiency sampling period in cycles
 	// (§III: 100K cycles). 0 disables sampling.
 	SampleInterval uint64
+
+	// Observer receives run lifecycle events and periodic heartbeat
+	// snapshots (see internal/obs). nil disables observability entirely:
+	// the measurement loop then costs one integer comparison per cycle and
+	// zero allocations (pinned by the HotPath benchmark suite). Observers
+	// never affect simulation results, so the field is excluded from JSON
+	// encodings and therefore from the runner's content keys.
+	Observer obs.Observer `json:"-"`
+	// HeartbeatEvery is the heartbeat (and context-cancellation check)
+	// period in cycles. 0 falls back to SampleInterval, then to 100K
+	// cycles. Like Observer, it cannot change results and is excluded
+	// from JSON encodings.
+	HeartbeatEvery uint64 `json:"-"`
 }
 
 // DefaultParams returns Table I with the scaled-down run lengths used by
@@ -104,6 +119,14 @@ func (r Result) StallCycles() uint64 { return r.Core.Stalls[core.StallICache] }
 
 // Run simulates workload wcfg on the design built by factory.
 func Run(p Params, wcfg workload.Config, design string, factory FrontendFactory) (Result, error) {
+	return RunContext(context.Background(), p, wcfg, design, factory)
+}
+
+// RunContext is Run honouring ctx: cancellation is checked at every
+// heartbeat interval (HeartbeatEvery cycles, falling back to
+// SampleInterval) during both warmup and measurement, and an interrupted
+// run returns ctx.Err() after notifying the observer.
+func RunContext(ctx context.Context, p Params, wcfg workload.Config, design string, factory FrontendFactory) (Result, error) {
 	if p.Core.FetchWidth == 0 {
 		p.Core = core.DefaultConfig()
 	}
@@ -114,60 +137,199 @@ func Run(p Params, wcfg workload.Config, design string, factory FrontendFactory)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunSource(p, w, wcfg.Name, design, factory)
+	return RunSourceContext(ctx, p, w, wcfg.Name, design, factory)
 }
 
 // RunSource simulates an arbitrary trace source.
 func RunSource(p Params, src trace.Source, workloadName, design string, factory FrontendFactory) (Result, error) {
-	h, err := mem.NewHierarchy(p.Hierarchy)
+	return RunSourceContext(context.Background(), p, src, workloadName, design, factory)
+}
+
+// RunSourceContext is RunSource honouring ctx (see RunContext).
+func RunSourceContext(ctx context.Context, p Params, src trace.Source, workloadName, design string, factory FrontendFactory) (Result, error) {
+	m, err := NewMachine(ctx, p, src, workloadName, design, factory)
 	if err != nil {
 		return Result{}, err
 	}
+	if err := m.Warmup(); err != nil {
+		return Result{}, err
+	}
+	if err := m.Advance(p.Measure); err != nil {
+		return Result{}, err
+	}
+	return m.Finish(), nil
+}
+
+// Machine is a fully assembled simulation that can be driven
+// incrementally: construct with NewMachine, call Warmup once, Advance as
+// many times as desired, then Finish for the Result. RunSourceContext is
+// exactly that sequence; separate steps allow interleaved inspection,
+// cycle-bounded embedding, and steady-state benchmarking without
+// per-iteration construction cost.
+type Machine struct {
+	p           Params
+	ctx         context.Context
+	cancellable bool
+	every       uint64 // heartbeat period in cycles
+
+	workload, design string
+
+	h   *mem.Hierarchy
+	ic  icache.Frontend
+	dc  *mem.DataCache
+	bp  *bpu.BPU
+	ftq *fdip.FTQ
+	c   *core.Core
+	st  *hbState // nil when no observer is configured
+
+	warmed bool
+	icWarm icache.Stats
+	bpWarm bpu.Stats
+
+	effSamples []float64
+	nextSample uint64
+	nextHB     uint64 // 0 disables the per-cycle heartbeat branch
+}
+
+// NewMachine assembles the modelled system for one run. The observer (if
+// any) receives BeginRun before NewMachine returns.
+func NewMachine(ctx context.Context, p Params, src trace.Source, workloadName, design string, factory FrontendFactory) (*Machine, error) {
+	h, err := mem.NewHierarchy(p.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
 	ic, err := factory(h)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	var dc *mem.DataCache
 	if p.DataCache {
 		dc, err = mem.NewDataCache(p.L1D, h)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 	bp := bpu.New(p.BPU)
 	ftq := fdip.New(p.Core.FTQ, src, bp, ic)
 	c := core.New(p.Core, ftq, ic, dc)
 
-	// Warmup.
-	if p.Warmup > 0 && !c.Run(p.Warmup) {
-		return Result{}, fmt.Errorf("sim: trace ended during warmup of %s", workloadName)
+	m := &Machine{
+		p: p, ctx: ctx, cancellable: ctx.Done() != nil,
+		every:    heartbeatEvery(p),
+		workload: workloadName, design: design,
+		h: h, ic: ic, dc: dc, bp: bp, ftq: ftq, c: c,
 	}
-	icWarm := ic.Stats()
-	bpWarm := bp.Stats()
-	c.ResetStats()
+	if p.Observer != nil {
+		m.st = newHBState(p.Observer, workloadName, design, c, ic, bp, dc, h)
+		p.Observer.BeginRun(obs.RunInfo{
+			Workload: workloadName, Design: design,
+			Warmup: p.Warmup, Measure: p.Measure, HeartbeatEvery: m.every,
+		}, m.st.reg)
+	}
+	return m, nil
+}
 
-	res := Result{Workload: workloadName, Design: design}
-	// Measurement loop with periodic storage-efficiency sampling.
-	target := p.Measure
-	nextSample := p.SampleInterval
-	for c.Stats().Instructions < target {
-		c.Cycle()
-		if p.SampleInterval > 0 && c.Stats().Cycles >= nextSample {
-			if eff, ok := ic.Efficiency(); ok {
-				res.EffSamples = append(res.EffSamples, eff)
+// Core exposes the out-of-order core (read-only inspection).
+func (m *Machine) Core() *core.Core { return m.c }
+
+// Frontend exposes the instruction-cache design under test.
+func (m *Machine) Frontend() icache.Frontend { return m.ic }
+
+// Warmup runs the configured warmup phase and arms measurement. It is
+// idempotent; Advance calls it automatically if needed.
+func (m *Machine) Warmup() error {
+	if m.warmed {
+		return nil
+	}
+	m.st.startPhase("warmup", m.p.Warmup, icache.Stats{}, bpu.Stats{})
+	if m.p.Warmup > 0 {
+		if m.st == nil && !m.cancellable {
+			// Fast path: no heartbeats, no cancellation windows.
+			if !m.c.Run(m.p.Warmup) {
+				return m.traceEnded("warmup")
 			}
-			nextSample += p.SampleInterval
-		}
-		if ftq.SourceDone() && ftq.Len() == 0 {
-			return Result{}, fmt.Errorf("sim: trace ended during measurement of %s", workloadName)
+		} else {
+			next := m.every
+			for m.c.Stats().Instructions < m.p.Warmup {
+				if !m.c.RunUntil(m.p.Warmup, next) {
+					return m.traceEnded("warmup")
+				}
+				if m.c.Stats().Cycles >= next {
+					next += m.every
+					m.st.beat()
+					if m.cancellable {
+						if err := m.ctx.Err(); err != nil {
+							return m.st.finish(err)
+						}
+					}
+				}
+			}
 		}
 	}
-	res.Core = c.Stats()
-	res.ICache = ic.Stats().Delta(icWarm)
-	res.BPU = bp.Stats().Delta(bpWarm)
-	if u, ok := ic.(*ubs.Cache); ok {
+	m.icWarm, m.bpWarm = m.ic.Stats(), m.bp.Stats()
+	m.c.ResetStats()
+	m.st.startPhase("measure", m.p.Measure, m.icWarm, m.bpWarm)
+	m.nextSample = m.p.SampleInterval
+	if m.st != nil || m.cancellable {
+		m.nextHB = m.every
+	}
+	m.warmed = true
+	return nil
+}
+
+// Advance runs n more measured instructions, taking storage-efficiency
+// samples every SampleInterval cycles and emitting heartbeats (and
+// checking cancellation) every heartbeat interval.
+func (m *Machine) Advance(n uint64) error {
+	if err := m.Warmup(); err != nil {
+		return err
+	}
+	target := m.c.Stats().Instructions + n
+	for m.c.Stats().Instructions < target {
+		m.c.Cycle()
+		if m.p.SampleInterval > 0 {
+			if cyc := m.c.Stats().Cycles; cyc >= m.nextSample {
+				if eff, ok := m.ic.Efficiency(); ok {
+					m.effSamples = append(m.effSamples, eff)
+				}
+				m.nextSample += m.p.SampleInterval
+			}
+		}
+		if m.nextHB != 0 {
+			if cyc := m.c.Stats().Cycles; cyc >= m.nextHB {
+				m.nextHB += m.every
+				m.st.beat()
+				if m.cancellable {
+					if err := m.ctx.Err(); err != nil {
+						return m.st.finish(err)
+					}
+				}
+			}
+		}
+		if m.ftq.SourceDone() && m.ftq.Len() == 0 {
+			return m.traceEnded("measurement")
+		}
+	}
+	return nil
+}
+
+// traceEnded reports premature trace exhaustion through the observer.
+func (m *Machine) traceEnded(phase string) error {
+	return m.st.finish(fmt.Errorf("sim: trace ended during %s of %s", phase, m.workload))
+}
+
+// Finish assembles the measured Result and delivers the observer's final
+// heartbeat and EndRun (once). The machine stays inspectable afterwards.
+func (m *Machine) Finish() Result {
+	res := Result{Workload: m.workload, Design: m.design}
+	res.Core = m.c.Stats()
+	res.ICache = m.ic.Stats().Delta(m.icWarm)
+	res.BPU = m.bp.Stats().Delta(m.bpWarm)
+	res.EffSamples = m.effSamples
+	if u, ok := m.ic.(*ubs.Cache); ok {
 		st := u.UBSStats()
 		res.UBS = &st
 	}
-	return res, nil
+	m.st.finish(nil)
+	return res
 }

@@ -141,6 +141,9 @@ func (u *Cache) Stats() icache.Stats { return u.stats.Stats }
 // UBSStats returns the full UBS counter set.
 func (u *Cache) UBSStats() Stats { return u.stats }
 
+// MSHRInFlight reports the live MSHR occupancy at cycle now.
+func (u *Cache) MSHRInFlight(now uint64) int { return u.mshr.InFlight(now) }
+
 func (u *Cache) setIndex(block uint64) int {
 	if u.setPow2 {
 		return int((block >> 6) & u.setMask)

@@ -22,11 +22,13 @@
 package ubscache
 
 import (
+	"context"
 	"io"
 
 	"ubscache/internal/cache"
 	"ubscache/internal/exp"
 	"ubscache/internal/icache"
+	"ubscache/internal/obs"
 	"ubscache/internal/sim"
 	"ubscache/internal/trace"
 	"ubscache/internal/ubs"
@@ -95,10 +97,8 @@ type Design struct {
 // Conventional returns a fixed-64B-block L1-I of the given capacity in KB
 // (8 ways, LRU; the kb=32 point is the paper's Table I baseline).
 func Conventional(kb int) Design {
-	if kb == 32 {
-		return Design{"conv-32KB", sim.ConvFactory(icache.Baseline32K())}
-	}
-	return Design{icache.ConvSized(kb << 10).Name, sim.ConvFactory(icache.ConvSized(kb << 10))}
+	cfg := icache.ConvSized(kb << 10)
+	return Design{cfg.Name, sim.ConvFactory(cfg)}
 }
 
 // UBS returns the paper's default Table II UBS cache (a 32KB-class budget).
@@ -177,9 +177,49 @@ func Quick() Options {
 // counters, and periodic storage-efficiency samples.
 type Report = sim.Result
 
+// Observer receives run lifecycle events and periodic heartbeat snapshots
+// from a simulation. Set it on Options.Observer; see the obs package for
+// the event contract (all callbacks run synchronously on the simulation
+// goroutine). A nil observer costs nothing.
+type Observer = obs.Observer
+
+// Heartbeat is one periodic progress snapshot (rolling IPC, L1-I MPKI,
+// partial-miss breakdown, MSHR occupancy, predictor hit rate).
+type Heartbeat = obs.Heartbeat
+
+// RunInfo describes a run at BeginRun time.
+type RunInfo = obs.RunInfo
+
+// Metrics is an atomic snapshot of the run's metric registry.
+type Metrics = obs.Snapshot
+
+// Observers fans lifecycle events out to several observers in order.
+type Observers = obs.Observers
+
+// FuncObserver adapts plain callbacks to the Observer interface; nil
+// members are skipped.
+type FuncObserver = obs.FuncObserver
+
+// NewHeartbeatWriter returns an Observer streaming NDJSON heartbeat
+// records (plus a begin record and a final manifest) to w — the same
+// format as `ubsim -stats-json`.
+func NewHeartbeatWriter(w io.Writer) *obs.NDJSON { return obs.NewNDJSON(w) }
+
+// NewMetricsServer returns an Observer that additionally serves the
+// latest heartbeat and metric snapshot over HTTP (Prometheus text format
+// at /metrics, JSON at /vars) — the same surface as `ubsim -http`.
+func NewMetricsServer() *obs.Server { return obs.NewServer() }
+
 // Simulate runs a workload on a design.
 func Simulate(d Design, w WorkloadConfig, opts Options) (Report, error) {
 	return sim.Run(opts, w, d.Name, d.factory)
+}
+
+// SimulateContext is Simulate honouring ctx: cancellation is checked at
+// every heartbeat interval (Options.HeartbeatEvery cycles, falling back
+// to Options.SampleInterval) and an interrupted run returns ctx.Err().
+func SimulateContext(ctx context.Context, d Design, w WorkloadConfig, opts Options) (Report, error) {
+	return sim.RunContext(ctx, opts, w, d.Name, d.factory)
 }
 
 // SimulateSource runs an arbitrary instruction source on a design.
@@ -187,13 +227,43 @@ func SimulateSource(d Design, src Source, name string, opts Options) (Report, er
 	return sim.RunSource(opts, src, name, d.Name, d.factory)
 }
 
+// SimulateSourceContext is SimulateSource honouring ctx (see
+// SimulateContext).
+func SimulateSourceContext(ctx context.Context, d Design, src Source, name string, opts Options) (Report, error) {
+	return sim.RunSourceContext(ctx, opts, src, name, d.Name, d.factory)
+}
+
 // ExperimentIDs lists the reproducible paper artifacts (fig1..fig16,
 // table1..table4, cvp) in paper order.
 func ExperimentIDs() []string { return exp.IDs() }
 
+// ExperimentOptions configure RunExperiment. The zero value runs the full
+// workload set with default parameters and no progress output.
+type ExperimentOptions struct {
+	// Options configures the simulated system; zero-valued sections take
+	// the Table I defaults (the zero value is exactly DefaultOptions).
+	Options Options
+	// PerFamily limits the number of workloads per family (0 = all).
+	PerFamily int
+	// Progress, if non-nil, receives per-run progress lines.
+	Progress io.Writer
+	// Context, if non-nil, cancels in-flight simulations between
+	// heartbeat intervals (see SimulateContext).
+	Context context.Context
+}
+
 // RunExperiment regenerates one paper artifact and returns its rendered
-// text. perFamily limits workloads per family (0 = all); progress, if
-// non-nil, receives per-run progress lines.
-func RunExperiment(id string, opts Options, perFamily int, progress io.Writer) (string, error) {
-	return exp.RunByID(id, exp.Options{Params: opts, PerFamily: perFamily, Out: progress})
+// text.
+func RunExperiment(id string, eo ExperimentOptions) (string, error) {
+	return exp.RunByID(id, exp.Options{
+		Params: eo.Options, PerFamily: eo.PerFamily, Out: eo.Progress,
+		Context: eo.Context,
+	})
+}
+
+// RunExperimentArgs is the positional predecessor of RunExperiment.
+//
+// Deprecated: use RunExperiment with ExperimentOptions.
+func RunExperimentArgs(id string, opts Options, perFamily int, progress io.Writer) (string, error) {
+	return RunExperiment(id, ExperimentOptions{Options: opts, PerFamily: perFamily, Progress: progress})
 }

@@ -4,6 +4,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ubscache/internal/icache"
+	"ubscache/internal/sim"
 )
 
 func quickTest() Options {
@@ -29,6 +32,40 @@ func TestWorkloadResolution(t *testing.T) {
 	}
 	if len(WorkloadNames(FamilyServer)) == 0 {
 		t.Error("no server workloads")
+	}
+}
+
+// TestConventional32IsTableIBaseline pins that the generic size-derived
+// Conventional(32) is exactly the paper's Table I baseline — the special
+// case that used to hardwire kb==32 to Baseline32K is gone, so the
+// equivalence must hold by construction (same geometry, same name, same
+// simulation results).
+func TestConventional32IsTableIBaseline(t *testing.T) {
+	sized := icache.ConvSized(32 << 10)
+	base := icache.Baseline32K()
+	if sized.Name != base.Name || sized.Sets != base.Sets || sized.Ways != base.Ways ||
+		sized.BlockSize != base.BlockSize || sized.Lat != base.Lat || sized.MSHRs != base.MSHRs {
+		t.Fatalf("ConvSized(32KB) = %+v, want Table I baseline %+v", sized, base)
+	}
+	d := Conventional(32)
+	if d.Name != "conv-32KB" {
+		t.Fatalf("Conventional(32).Name = %q", d.Name)
+	}
+
+	w, err := Workload("server_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Simulate(d, w, quickTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Simulate(Design{base.Name, sim.ConvFactory(base)}, w, quickTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Core != want.Core || got.ICache != want.ICache {
+		t.Errorf("Conventional(32) diverges from Baseline32K:\ngot  %+v\nwant %+v", got.Core, want.Core)
 	}
 }
 
@@ -133,14 +170,14 @@ func TestExperimentFacade(t *testing.T) {
 	if len(ids) < 17 {
 		t.Fatalf("only %d experiments", len(ids))
 	}
-	out, err := RunExperiment("table2", quickTest(), 1, nil)
+	out, err := RunExperiment("table2", ExperimentOptions{Options: quickTest(), PerFamily: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "4, 4, 8, 8, 8, 12, 12, 16, 24, 32, 36, 36, 52, 64, 64, 64") {
 		t.Errorf("table2 output:\n%s", out)
 	}
-	if _, err := RunExperiment("nope", quickTest(), 1, nil); err == nil {
+	if _, err := RunExperiment("nope", ExperimentOptions{Options: quickTest(), PerFamily: 1}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
