@@ -6,8 +6,11 @@
 //	ubsim -workload client_001 -design conv:64 -measure 10000000
 //	ubsim -trace dump.ubst.gz -design ghrp
 //
-// Designs: conv:<KB>, ubs, ubs:<KB>, smallblock16, smallblock32, distill,
-// ghrp, acic, and the predictor/way variants ubs-pred-<name>, ubs-<N>way-c<V>.
+// Designs are resolved through the sim design registry (sim.ParseDesign):
+// conv:<KB>, ubs, ubs:<KB>, smallblock16, smallblock32, smallblock64,
+// distill, ghrp, acic, the predictor/way variants ubs-pred-<name> and
+// ubs-<N>way-c<V>, or an inline JSON spec such as
+// '{"kind":"ubs","config":{"kb":64}}'.
 //
 // Observability: -stats-json streams NDJSON heartbeat records (plus a
 // final manifest) to a file; -http serves live metrics (Prometheus text at
@@ -25,76 +28,16 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 	"syscall"
 
-	"ubscache/internal/cache"
 	"ubscache/internal/core"
 	"ubscache/internal/icache"
 	"ubscache/internal/obs"
 	"ubscache/internal/sim"
 	"ubscache/internal/stats"
 	"ubscache/internal/trace"
-	"ubscache/internal/ubs"
 	"ubscache/internal/workload"
 )
-
-// parseDesign resolves a design name to a frontend factory.
-func parseDesign(name string) (sim.FrontendFactory, error) {
-	switch {
-	case name == "conv32" || name == "conv:32":
-		return sim.ConvFactory(icache.Baseline32K()), nil
-	case name == "conv64" || name == "conv:64":
-		return sim.ConvFactory(icache.Conv64K()), nil
-	case strings.HasPrefix(name, "conv:"):
-		kb, err := strconv.Atoi(strings.TrimPrefix(name, "conv:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad conv size %q", name)
-		}
-		return sim.ConvFactory(icache.ConvSized(kb << 10)), nil
-	case name == "ubs":
-		return sim.UBSFactory(ubs.DefaultConfig()), nil
-	case strings.HasPrefix(name, "ubs:"):
-		kb, err := strconv.Atoi(strings.TrimPrefix(name, "ubs:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad ubs size %q", name)
-		}
-		return sim.UBSFactory(ubs.Sized(kb)), nil
-	case strings.HasPrefix(name, "ubs-pred-"):
-		cfg, err := ubs.WithPredictor(strings.TrimPrefix(name, "ubs-pred-"))
-		if err != nil {
-			return nil, err
-		}
-		return sim.UBSFactory(cfg), nil
-	case name == "smallblock16":
-		return sim.SmallBlockFactory(icache.SmallBlock16()), nil
-	case name == "smallblock32":
-		return sim.SmallBlockFactory(icache.SmallBlock32()), nil
-	case name == "distill":
-		return sim.DistillFactory(icache.DefaultDistill()), nil
-	case name == "ghrp":
-		cfg := icache.Baseline32K()
-		cfg.Name = "ghrp"
-		cfg.NewPolicy = cache.NewGHRP
-		return sim.ConvFactory(cfg), nil
-	case name == "acic":
-		cfg := icache.Baseline32K()
-		cfg.Name = "acic"
-		cfg.ACIC = true
-		return sim.ConvFactory(cfg), nil
-	}
-	// ubs-<N>way-c<V>
-	var ways, variant int
-	if n, _ := fmt.Sscanf(name, "ubs-%dway-c%d", &ways, &variant); n == 2 {
-		cfg, err := ubs.WithWays(ways, variant)
-		if err != nil {
-			return nil, err
-		}
-		return sim.UBSFactory(cfg), nil
-	}
-	return nil, fmt.Errorf("unknown design %q", name)
-}
 
 func main() {
 	os.Exit(run())
@@ -145,7 +88,7 @@ func run() int {
 		}()
 	}
 
-	factory, err := parseDesign(*design)
+	d, err := sim.ParseDesign(*design)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
@@ -195,7 +138,7 @@ func run() int {
 			return 1
 		}
 		defer r.Close()
-		res, err = sim.RunSourceContext(ctx, params, r, *traceFile, *design, factory)
+		res, err = sim.RunSourceContext(ctx, params, r, *traceFile, d.Name, d.Factory)
 		if err != nil {
 			return reportRunErr(err, *statsJSON)
 		}
@@ -205,7 +148,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		res, err = sim.RunContext(ctx, params, wcfg, *design, factory)
+		res, err = sim.RunContext(ctx, params, wcfg, d.Name, d.Factory)
 		if err != nil {
 			return reportRunErr(err, *statsJSON)
 		}

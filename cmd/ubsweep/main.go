@@ -5,6 +5,7 @@
 //	ubsweep -exp all -per-family 4        # everything, 4 workloads per family
 //	ubsweep -exp all -parallel 8 -v       # 8 concurrent simulations, progress/ETA
 //	ubsweep -spec examples/specs/perf.json -json -out artifacts
+//	ubsweep -designs ubs:64,conv:128      # custom design comparison vs conv-32KB
 //	ubsweep -list                         # available experiments
 //	ubsweep -bench BENCH_PR2.json         # hot-path microbench suite -> JSON
 //	ubsweep -exp all -cpuprofile cpu.out  # pprof the sweep itself
@@ -21,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,11 +31,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
 	"ubscache/internal/bench"
 	"ubscache/internal/exp"
 	"ubscache/internal/runner"
+	"ubscache/internal/sim"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func main() {
 func run() int {
 	var (
 		expID     = flag.String("exp", "", "experiment id (or 'all')")
+		designsIn = flag.String("designs", "", "comma-separated design shorthands (see ubsim -design); runs a custom comparison vs conv-32KB")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		perFamily = flag.Int("per-family", 0, "workloads per family (0 = all)")
 		warmup    = flag.Uint64("warmup", 0, "warmup instructions (0 = default)")
@@ -94,14 +99,15 @@ func run() int {
 		return runBench(*benchOut, *benchBase, *benchTag)
 	}
 
-	if *list || (*expID == "" && *specPath == "") {
+	noSelection := *expID == "" && *specPath == "" && *designsIn == ""
+	if *list || noSelection {
 		fmt.Println("experiments:")
 		for _, e := range exp.Registry {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 			fmt.Printf("  %-8s paper: %s\n", "", e.Paper)
 		}
-		if *expID == "" && *specPath == "" && !*list {
-			fmt.Fprintln(os.Stderr, "\nusage: ubsweep -exp <id|all> | -spec <file> [-per-family N] [-warmup N] [-measure N] [-parallel N] [-out dir] [-json] [-cache dir]")
+		if noSelection && !*list {
+			fmt.Fprintln(os.Stderr, "\nusage: ubsweep -exp <id|all> | -spec <file> | -designs <d1,d2,...> [-per-family N] [-warmup N] [-measure N] [-parallel N] [-out dir] [-json] [-cache dir]")
 			return 2
 		}
 		return 0
@@ -119,6 +125,26 @@ func run() int {
 	// Command-line flags override the spec file.
 	if *expID != "" {
 		spec.Experiments = []string{*expID}
+	}
+	if *designsIn != "" {
+		spec.Designs = nil
+		if strings.HasPrefix(strings.TrimSpace(*designsIn), "[") {
+			// A JSON array of design specs (shorthands with embedded commas,
+			// e.g. inline {"kind":...} specs, can't be comma-split).
+			if err := json.Unmarshal([]byte(*designsIn), &spec.Designs); err != nil {
+				fmt.Fprintln(os.Stderr, "ubsweep: -designs:", err)
+				return 1
+			}
+		} else {
+			for _, name := range strings.Split(*designsIn, ",") {
+				ds, err := sim.ParseDesignSpec(strings.TrimSpace(name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				spec.Designs = append(spec.Designs, ds)
+			}
+		}
 	}
 	if *perFamily > 0 {
 		spec.PerFamily = *perFamily

@@ -70,6 +70,30 @@ func ExampleRunExperiment() {
 	// true
 }
 
+// ExampleParseDesign resolves designs through the registry: shorthand
+// names (the `ubsim -design` grammar) and declarative JSON specs both
+// reach the same registered builders.
+func ExampleParseDesign() {
+	d, err := ubscache.ParseDesign("ubs:64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inline, err := ubscache.ParseDesign(`{"kind":"conv","config":{"policy":"ghrp"}}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := ubscache.DesignSpec{Kind: "smallblock", Config: []byte(`{"block_size":32}`)}
+	sb, err := ubscache.ResolveDesign(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(d.Name, inline.Name, sb.Name)
+	fmt.Println(ubscache.DesignKinds())
+	// Output:
+	// ubs-64KB ghrp conv-32B-block
+	// [conv distill smallblock ubs]
+}
+
 // ExampleUBSCustom shows how to explore a non-default UBS configuration.
 func ExampleUBSCustom() {
 	cfg := ubscache.DefaultUBSConfig()

@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"ubscache/internal/cache"
+	"ubscache/internal/icache"
 	"ubscache/internal/mem"
 	"ubscache/internal/sim"
 	"ubscache/internal/ubs"
@@ -44,6 +45,7 @@ func Cases() []Case {
 	return []Case{
 		{Name: "MSHR", Bench: benchMSHR},
 		{Name: "FetchBlock", Bench: benchFetchBlock},
+		{Name: "EngineFetch", Bench: benchEngineFetch},
 		{Name: "DataCacheLoad", Bench: benchDataCacheLoad},
 		{Name: "UBSFetch", Bench: benchUBSFetch},
 		{Name: "SimInstr", InstrsPerOp: simInstrs, Bench: benchSimInstr},
@@ -85,6 +87,33 @@ func benchFetchBlock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		now += 2
 		h.FetchBlock(uint64(i%8192)*64, now, ctx)
+	}
+}
+
+// benchEngineFetch drives the shared frontend fetch engine — the single
+// miss-path call site every L1-I design composes — through its demand
+// protocol at steady state: Begin on every access, Hit on the ~3/4 the
+// modelled array would serve, Miss (MSHR check + hierarchy walk + insert)
+// on the rest. Like NilObserver, the steady state must stay at 0
+// allocs/op; CI gates on this case.
+func benchEngineFetch(b *testing.B) {
+	h := mem.MustNewHierarchy(mem.DefaultHierarchyConfig())
+	e := icache.NewEngine(8, 4, h)
+	ctx := cache.AccessContext{}
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 3
+		block := uint64(i%512) * 64
+		if _, merged := e.Begin(block, now); merged {
+			continue
+		}
+		if i%4 != 0 {
+			e.Hit()
+			continue
+		}
+		e.Miss(block, icache.FullMiss, now, ctx)
 	}
 }
 

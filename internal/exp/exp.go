@@ -14,9 +14,7 @@ import (
 	"sync"
 
 	"ubscache/internal/bpu"
-	"ubscache/internal/icache"
 	"ubscache/internal/sim"
-	"ubscache/internal/ubs"
 	"ubscache/internal/workload"
 )
 
@@ -274,23 +272,16 @@ func (r *Runner) auxRun(key string, f func() (interface{}, error)) (interface{},
 }
 
 // Design couples a name with its factory; the standard comparison points.
-type Design struct {
-	Name    string
-	Factory sim.FrontendFactory
-}
+// It is the registry's sim.Design — experiments obtain theirs through
+// sim.MustDesign (shorthands) or the typed sim.New*Design constructors.
+type Design = sim.Design
 
 // Standard designs used across experiments.
-func designConv32() Design {
-	return Design{"conv-32KB", sim.ConvFactory(icache.Baseline32K())}
-}
+func designConv32() Design { return sim.MustDesign("conv:32") }
 
-func designConv64() Design {
-	return Design{"conv-64KB", sim.ConvFactory(icache.Conv64K())}
-}
+func designConv64() Design { return sim.MustDesign("conv:64") }
 
-func designUBS() Design {
-	return Design{"ubs", sim.UBSFactory(ubs.DefaultConfig())}
-}
+func designUBS() Design { return sim.MustDesign("ubs") }
 
 // perfFamilies are the families the paper's performance studies use (the
 // IPC-1 categories; Google traces lack dependence information, §V-A).
@@ -303,6 +294,41 @@ var perfFamilies = []workload.Family{
 var allFamilies = []workload.Family{
 	workload.FamilyGoogle, workload.FamilyClient, workload.FamilyServer,
 	workload.FamilySPEC,
+}
+
+// CustomExperiment synthesizes an experiment from declarative design
+// specs: every design is simulated on the performance families and its
+// geomean speedup reported against the conv-32KB baseline (the paper's
+// standard comparison frame). Spec resolution errors surface immediately,
+// before any simulation runs.
+func CustomExperiment(specs []sim.DesignSpec) (Experiment, error) {
+	if len(specs) == 0 {
+		return Experiment{}, fmt.Errorf("exp: custom experiment needs at least one design spec")
+	}
+	designs := make([]Design, len(specs))
+	for i, spec := range specs {
+		d, err := sim.ResolveDesign(spec)
+		if err != nil {
+			return Experiment{}, fmt.Errorf("exp: custom design %d: %w", i, err)
+		}
+		designs[i] = d
+	}
+	names := make([]string, len(designs))
+	for i, d := range designs {
+		names[i] = d.Name
+	}
+	return Experiment{
+		ID:    "custom",
+		Title: "Custom design sweep: " + strings.Join(names, ", "),
+		Paper: "User-specified designs; speedups vs the conv-32KB baseline.",
+		Run: func(r *Runner) (string, error) {
+			tb, err := r.speedups(designConv32(), designs, perfFamilies)
+			if err != nil {
+				return "", err
+			}
+			return "Geomean speedup over conv-32KB\n" + tb.String(), nil
+		},
+	}, nil
 }
 
 // RunByID executes one experiment and returns its rendered output.

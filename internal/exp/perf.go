@@ -149,17 +149,17 @@ func init() {
 		Paper: "20KB UBS outperforms 32KB conv on server; for equal budgets UBS always wins (16/32/64/128KB)",
 		Run: func(r *Runner) (string, error) {
 			designs := []Design{
-				{"conv-32KB", sim.ConvFactory(icache.ConvSized(32 << 10))},
-				{"conv-64KB", sim.ConvFactory(icache.ConvSized(64 << 10))},
-				{"conv-128KB", sim.ConvFactory(icache.ConvSized(128 << 10))},
-				{"conv-192KB", sim.ConvFactory(icache.ConvSized(192 << 10))},
-				{"ubs-16KB", sim.UBSFactory(ubs.Sized(16))},
-				{"ubs-20KB", sim.UBSFactory(ubs.Sized(20))},
-				{"ubs-32KB", sim.UBSFactory(ubs.Sized(32))},
-				{"ubs-64KB", sim.UBSFactory(ubs.Sized(64))},
-				{"ubs-128KB", sim.UBSFactory(ubs.Sized(128))},
+				sim.MustDesign("conv:32"),
+				sim.MustDesign("conv:64"),
+				sim.MustDesign("conv:128"),
+				sim.MustDesign("conv:192"),
+				sim.MustDesign("ubs:16"),
+				sim.MustDesign("ubs:20"),
+				sim.MustDesign("ubs:32"),
+				sim.MustDesign("ubs:64"),
+				sim.MustDesign("ubs:128"),
 			}
-			base := Design{"conv-16KB", sim.ConvFactory(icache.ConvSized(16 << 10))}
+			base := sim.MustDesign("conv:16")
 			tb, err := r.speedups(base, designs, perfFamilies)
 			if err != nil {
 				return "", err
@@ -174,8 +174,8 @@ func init() {
 		Paper: "UBS gives ~2x the gain of the 16B/32B designs on server; all similar on client/SPEC",
 		Run: func(r *Runner) (string, error) {
 			designs := []Design{
-				{"conv-16B-block", sim.SmallBlockFactory(icache.SmallBlock16())},
-				{"conv-32B-block", sim.SmallBlockFactory(icache.SmallBlock32())},
+				sim.MustDesign("smallblock16"),
+				sim.MustDesign("smallblock32"),
 				designUBS(),
 			}
 			tb, err := r.speedups(designConv32(), designs, perfFamilies)
@@ -191,16 +191,10 @@ func init() {
 		Title: "Figure 13: UBS vs prior work (GHRP, ACIC, Line Distillation)",
 		Paper: "all three improve server but less than UBS; ACIC best of the three; Distillation slightly hurts client/SPEC",
 		Run: func(r *Runner) (string, error) {
-			ghrpCfg := icache.Baseline32K()
-			ghrpCfg.Name = "ghrp"
-			ghrpCfg.NewPolicy = cacheNewGHRP
-			acicCfg := icache.Baseline32K()
-			acicCfg.Name = "acic"
-			acicCfg.ACIC = true
 			designs := []Design{
-				{"ghrp", sim.ConvFactory(ghrpCfg)},
-				{"acic", sim.ConvFactory(acicCfg)},
-				{"line-distill", sim.DistillFactory(icache.DefaultDistill())},
+				sim.MustDesign("ghrp"),
+				sim.MustDesign("acic"),
+				sim.MustDesign("distill"),
 				designUBS(),
 			}
 			tb, err := r.speedups(designConv32(), designs, perfFamilies)
@@ -218,11 +212,11 @@ func init() {
 		Run: func(r *Runner) (string, error) {
 			var designs []Design
 			for _, v := range ubs.PredictorVariants {
-				cfg, err := ubs.WithPredictor(v.Name)
+				d, err := sim.NewUBSDesign(sim.UBSDesign{Predictor: v.Name})
 				if err != nil {
 					return "", err
 				}
-				designs = append(designs, Design{cfg.Name, sim.UBSFactory(cfg)})
+				designs = append(designs, d)
 			}
 			tb, err := r.speedups(designConv32(), designs, perfFamilies)
 			if err != nil {
@@ -239,18 +233,18 @@ func init() {
 		Run: func(r *Runner) (string, error) {
 			var designs []Design
 			for _, wc := range ubs.WayConfigs {
-				cfg, err := ubs.WithWays(wc.Ways, wc.Variant)
+				d, err := sim.NewUBSDesign(sim.UBSDesign{Ways: wc.Ways, WayVariant: wc.Variant})
 				if err != nil {
 					return "", err
 				}
-				designs = append(designs, Design{cfg.Name, sim.UBSFactory(cfg)})
+				designs = append(designs, d)
 			}
 			// 16-way conventional at the same 32KB capacity (sets halved).
-			conv16w := icache.ConventionalConfig{
-				Name: "conv-16way", Sets: 32, Ways: 16, BlockSize: 64,
-				Lat: 4, MSHRs: 8,
+			conv16w, err := sim.NewConvDesign(sim.ConvDesign{Name: "conv-16way", Sets: 32, Ways: 16})
+			if err != nil {
+				return "", err
 			}
-			designs = append(designs, Design{"conv-16way", sim.ConvFactory(conv16w)})
+			designs = append(designs, conv16w)
 			tb, err := r.speedups(designConv32(), designs, perfFamilies)
 			if err != nil {
 				return "", err

@@ -4,17 +4,12 @@ import (
 	"fmt"
 	"strings"
 
-	"ubscache/internal/cache"
 	"ubscache/internal/core"
 	"ubscache/internal/latency"
 	"ubscache/internal/mem"
 	"ubscache/internal/stats"
 	"ubscache/internal/ubs"
 )
-
-// cacheNewGHRP adapts cache.NewGHRP to the icache config field (kept here
-// to avoid an exp->cache dependency inside perf.go's literal).
-var cacheNewGHRP = cache.NewGHRP
 
 func init() {
 	register(Experiment{

@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"ubscache/internal/cache"
-	"ubscache/internal/icache"
 	"ubscache/internal/sim"
 	"ubscache/internal/stats"
-	"ubscache/internal/ubs"
 	"ubscache/internal/workload"
 )
 
@@ -22,18 +20,20 @@ func init() {
 		Title: "Extension: UBS on a variable-length (x86-like) ISA with byte-granular tracking",
 		Paper: "§IV-B/§IV-C describe the mechanism (byte bit-vectors, 6-bit offsets); Figure 1a shows the x86 Google traces' byte-usage CDF; no performance numbers are reported for x86",
 		Run: func(r *Runner) (string, error) {
-			ubsX86 := ubs.DefaultConfig()
-			ubsX86.Name = "ubs-x86"
-			ubsX86.OffsetGranule = 1
-			conv32 := icache.Baseline32K()
-			conv32.Unit = 1 // byte-accurate efficiency accounting
-			conv64 := icache.Conv64K()
-			conv64.Unit = 1
-			base := Design{"conv-32KB", sim.ConvFactory(conv32)}
-			designs := []Design{
-				{"ubs-x86", sim.UBSFactory(ubsX86)},
-				{"conv-64KB", sim.ConvFactory(conv64)},
+			// Unit: 1 switches byte-accurate efficiency accounting on.
+			ubsX86, err := sim.NewUBSDesign(sim.UBSDesign{Name: "ubs-x86", OffsetGranule: 1})
+			if err != nil {
+				return "", err
 			}
+			base, err := sim.NewConvDesign(sim.ConvDesign{Unit: 1})
+			if err != nil {
+				return "", err
+			}
+			conv64, err := sim.NewConvDesign(sim.ConvDesign{KB: 64, Unit: 1})
+			if err != nil {
+				return "", err
+			}
+			designs := []Design{ubsX86, conv64}
 			fams := []workload.Family{workload.FamilyX86Server}
 
 			tb, err := r.speedups(base, designs, fams)
@@ -128,18 +128,25 @@ func init() {
 		Title: "Extension: UBS in congruence with GHRP-style replacement and ACIC-style admission (§VI-H)",
 		Paper: "the paper argues the mechanisms are complementary (\"UBS can work in congruence with ACIC and GHRP\") without quantifying the combination",
 		Run: func(r *Runner) (string, error) {
-			mk := func(name string, dead, admitF bool) Design {
-				cfg := ubs.DefaultConfig()
-				cfg.Name = name
-				cfg.DeadBlockWays = dead
-				cfg.AdmissionFilter = admitF
-				return Design{name, sim.UBSFactory(cfg)}
+			mk := func(name string, dead, admitF bool) (Design, error) {
+				return sim.NewUBSDesign(sim.UBSDesign{
+					Name: name, DeadBlockWays: dead, AdmissionFilter: admitF,
+				})
 			}
-			designs := []Design{
-				designUBS(),
-				mk("ubs+ghrp", true, false),
-				mk("ubs+acic", false, true),
-				mk("ubs+both", true, true),
+			designs := []Design{designUBS()}
+			for _, v := range []struct {
+				name         string
+				dead, admitF bool
+			}{
+				{"ubs+ghrp", true, false},
+				{"ubs+acic", false, true},
+				{"ubs+both", true, true},
+			} {
+				d, err := mk(v.name, v.dead, v.admitF)
+				if err != nil {
+					return "", err
+				}
+				designs = append(designs, d)
 			}
 			tb, err := r.speedups(designConv32(), designs,
 				[]workload.Family{workload.FamilyServer})

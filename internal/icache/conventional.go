@@ -52,19 +52,20 @@ func ConvSized(bytes int) ConventionalConfig {
 	return c
 }
 
-// Conventional is the fixed-block-size instruction cache frontend.
+// Conventional is the fixed-block-size instruction cache frontend. The
+// embedded Engine supplies the miss path and the Stats/Latency/
+// MSHRInFlight surface.
 type Conventional struct {
-	cfg   ConventionalConfig
-	c     *cache.Cache
-	mshr  *mem.MSHR
-	h     *mem.Hierarchy
-	stats Stats
+	*Engine
+	cfg ConventionalConfig
+	c   *cache.Cache
 
 	// ACIC state.
 	acic *acic
 }
 
 var _ Frontend = (*Conventional)(nil)
+var _ MSHROccupant = (*Conventional)(nil)
 
 // NewConventional builds the frontend over hierarchy h.
 func NewConventional(cfg ConventionalConfig, h *mem.Hierarchy) (*Conventional, error) {
@@ -77,7 +78,7 @@ func NewConventional(cfg ConventionalConfig, h *mem.Hierarchy) (*Conventional, e
 	if cfg.MSHRs == 0 {
 		cfg.MSHRs = 8
 	}
-	cv := &Conventional{cfg: cfg, mshr: mem.NewMSHR(cfg.MSHRs), h: h}
+	cv := &Conventional{Engine: NewEngine(cfg.MSHRs, cfg.Lat, h), cfg: cfg}
 	onEvict := cfg.OnEvict
 	if cfg.ACIC {
 		cv.acic = newACIC()
@@ -106,64 +107,36 @@ func NewConventional(cfg ConventionalConfig, h *mem.Hierarchy) (*Conventional, e
 // Name identifies the design.
 func (cv *Conventional) Name() string { return cv.cfg.Name }
 
-// Latency returns the hit latency.
-func (cv *Conventional) Latency() uint64 { return cv.cfg.Lat }
-
 // Cache exposes the underlying array (instrumentation, tests).
 func (cv *Conventional) Cache() *cache.Cache { return cv.c }
-
-// Stats returns the accumulated counters.
-func (cv *Conventional) Stats() Stats { return cv.stats }
-
-// MSHRInFlight reports the live MSHR occupancy at cycle now.
-func (cv *Conventional) MSHRInFlight(now uint64) int { return cv.mshr.InFlight(now) }
 
 // Efficiency reports the storage-efficiency metric.
 func (cv *Conventional) Efficiency() (float64, bool) { return cv.c.Efficiency() }
 
 // Fetch implements Frontend.
 func (cv *Conventional) Fetch(addr uint64, size int, now uint64) Result {
-	cv.stats.Fetches++
 	ctx := cache.AccessContext{PC: addr, Cycle: now}
 	block := cv.c.BlockAddr(addr)
 
 	// A block still in flight is not usable even though the early-fill
 	// model has already installed it.
-	if done, pending := cv.mshr.Lookup(block, now); pending {
+	if r, merged := cv.Begin(block, now); merged {
 		cv.c.MarkAccessed(addr, size)
-		cv.stats.Misses++
-		cv.stats.ByKind[FullMiss]++
-		return Result{Kind: FullMiss, Complete: done, Issued: true}
+		return r
 	}
 	if cv.c.Access(addr, size, ctx) {
-		cv.stats.Hits++
-		cv.stats.ByKind[Hit]++
-		return Result{Kind: Hit}
+		return cv.Hit()
 	}
 	// Check the ACIC bypass buffer before going to L2.
-	if cv.acic != nil {
-		if cv.acic.bypassHit(block) {
-			cv.stats.Hits++
-			cv.stats.ByKind[Hit]++
-			return Result{Kind: Hit}
-		}
+	if cv.acic != nil && cv.acic.bypassHit(block) {
+		return cv.Hit()
 	}
 	// Demand miss.
-	if cv.mshr.Full(now) {
-		cv.mshr.RecordFullStall()
-		cv.stats.MSHRStalls++
-		return Result{Kind: FullMiss, Issued: false}
+	r := cv.Miss(block, FullMiss, now, ctx)
+	if r.Issued {
+		cv.fill(block, addr, size, ctx)
 	}
-	done, ok := cv.h.FetchBlock(addr, now+cv.cfg.Lat, ctx)
-	if !ok {
-		cv.stats.MSHRStalls++
-		return Result{Kind: FullMiss, Issued: false}
-	}
-	cv.stats.Misses++
-	cv.stats.ByKind[FullMiss]++
-	cv.mshr.Insert(block, done)
-	cv.fill(block, addr, size, ctx)
-	return Result{Kind: FullMiss, Complete: done, Issued: true}
+	return r
 }
 
 // fill installs a block subject to ACIC admission control.
@@ -183,21 +156,10 @@ func (cv *Conventional) Prefetch(addr uint64, size int, now uint64) {
 	if _, _, hit := cv.c.Probe(block); hit {
 		return
 	}
-	if _, pending := cv.mshr.Lookup(block, now); pending {
-		return
-	}
-	if cv.mshr.Full(now) {
-		cv.stats.PrefetchDrops++
-		return
-	}
 	ctx := cache.AccessContext{PC: addr, Cycle: now, Prefetch: true}
-	done, ok := cv.h.FetchBlock(addr, now+cv.cfg.Lat, ctx)
-	if !ok {
-		cv.stats.PrefetchDrops++
+	if !cv.Engine.Prefetch(block, now, ctx) {
 		return
 	}
-	cv.stats.Prefetches++
-	cv.mshr.Insert(block, done)
 	if cv.acic != nil && !cv.acic.admit(block) {
 		cv.acic.insertBypass(block)
 		return

@@ -12,18 +12,17 @@ import (
 // that exhibited poor spatial locality, only its accessed words are moved
 // into the WOC; future fetches can hit in either half.
 type Distill struct {
-	cfg   DistillConfig
-	loc   *cache.Cache
-	woc   *woc
-	mshr  *mem.MSHR
-	h     *mem.Hierarchy
-	stats Stats
+	*Engine
+	cfg DistillConfig
+	loc *cache.Cache
+	woc *woc
 
 	// WOCHits counts fetches served from the word-organised half.
 	WOCHits uint64
 }
 
 var _ Frontend = (*Distill)(nil)
+var _ MSHROccupant = (*Distill)(nil)
 
 // DistillConfig sizes the two halves. The default splits a 32KB budget:
 // 16KB LOC (64 sets × 4 ways × 64B) + 16KB WOC (64 sets × 32 words × 8B).
@@ -142,8 +141,8 @@ func NewDistill(cfg DistillConfig, h *mem.Hierarchy) (*Distill, error) {
 	if cfg.Sets == 0 {
 		cfg = DefaultDistill()
 	}
-	d := &Distill{cfg: cfg, woc: newWOC(cfg.Sets, cfg.WOCWords),
-		mshr: mem.NewMSHR(cfg.MSHRs), h: h}
+	d := &Distill{Engine: NewEngine(cfg.MSHRs, cfg.Lat, h),
+		cfg: cfg, woc: newWOC(cfg.Sets, cfg.WOCWords)}
 	loc, err := cache.New(cache.Config{
 		Name: cfg.Name + "-loc", Sets: cfg.Sets, Ways: cfg.LOCWays, BlockSize: 64,
 		OnEvict: func(set int, b *cache.Block) { d.distill(b) },
@@ -176,15 +175,6 @@ func (d *Distill) distill(b *cache.Block) {
 // Name identifies the design.
 func (d *Distill) Name() string { return d.cfg.Name }
 
-// Latency returns the hit latency.
-func (d *Distill) Latency() uint64 { return d.cfg.Lat }
-
-// Stats returns the accumulated counters.
-func (d *Distill) Stats() Stats { return d.stats }
-
-// MSHRInFlight reports the live MSHR occupancy at cycle now.
-func (d *Distill) MSHRInFlight(now uint64) int { return d.mshr.InFlight(now) }
-
 // Efficiency combines both halves.
 func (d *Distill) Efficiency() (float64, bool) {
 	var used, total float64
@@ -213,49 +203,33 @@ func (d *Distill) wocCovers(addr uint64, size int) bool {
 
 // Fetch implements Frontend.
 func (d *Distill) Fetch(addr uint64, size int, now uint64) Result {
-	d.stats.Fetches++
 	ctx := cache.AccessContext{PC: addr, Cycle: now}
 	block := addr &^ 63
 
-	if done, pending := d.mshr.Lookup(block, now); pending {
+	if r, merged := d.Begin(block, now); merged {
 		d.loc.MarkAccessed(addr, size)
-		d.stats.Misses++
-		d.stats.ByKind[FullMiss]++
-		return Result{Kind: FullMiss, Complete: done, Issued: true}
+		return r
 	}
 	if d.loc.Access(addr, size, ctx) {
-		d.stats.Hits++
-		d.stats.ByKind[Hit]++
-		return Result{Kind: Hit}
+		return d.Hit()
 	}
 	if d.wocCovers(addr, size) {
 		for a := addr &^ 7; a < addr+uint64(size); a += 8 {
 			d.woc.lookup(a, true)
 		}
 		d.WOCHits++
-		d.stats.Hits++
-		d.stats.ByKind[Hit]++
-		return Result{Kind: Hit}
+		return d.Hit()
 	}
 	// Demand miss: fill the LOC with the whole 64B block.
-	if d.mshr.Full(now) {
-		d.mshr.RecordFullStall()
-		d.stats.MSHRStalls++
-		return Result{Kind: FullMiss, Issued: false}
+	r := d.Miss(block, FullMiss, now, ctx)
+	if !r.Issued {
+		return r
 	}
-	done, ok := d.h.FetchBlock(block, now+d.cfg.Lat, ctx)
-	if !ok {
-		d.stats.MSHRStalls++
-		return Result{Kind: FullMiss, Issued: false}
-	}
-	d.stats.Misses++
-	d.stats.ByKind[FullMiss]++
-	d.mshr.Insert(block, done)
 	// The WOC's partial copy is superseded by the full line.
 	d.woc.invalidateBlock(block)
 	d.loc.Fill(block, ctx)
 	d.loc.MarkAccessed(addr, size)
-	return Result{Kind: FullMiss, Complete: done, Issued: true}
+	return r
 }
 
 // Prefetch implements Frontend: prefetches fill the LOC.
@@ -264,21 +238,10 @@ func (d *Distill) Prefetch(addr uint64, size int, now uint64) {
 	if _, _, hit := d.loc.Probe(block); hit {
 		return
 	}
-	if _, pending := d.mshr.Lookup(block, now); pending {
-		return
-	}
-	if d.mshr.Full(now) {
-		d.stats.PrefetchDrops++
-		return
-	}
 	ctx := cache.AccessContext{PC: addr, Cycle: now, Prefetch: true}
-	done, ok := d.h.FetchBlock(block, now+d.cfg.Lat, ctx)
-	if !ok {
-		d.stats.PrefetchDrops++
+	if !d.Engine.Prefetch(block, now, ctx) {
 		return
 	}
-	d.stats.Prefetches++
-	d.mshr.Insert(block, done)
 	d.woc.invalidateBlock(block)
 	d.loc.Fill(block, ctx)
 }

@@ -10,28 +10,30 @@ import (
 // SmallBlock is the Figure 12 baseline: an L1-I with 16B or 32B blocks.
 // The L2 interface still moves 64B blocks; a fetched 64B block is parked in
 // a fill/prefetch buffer and only the requested small chunks are installed
-// into the L1-I array (per §VI-G of the paper).
+// into the L1-I array (per §VI-G of the paper). The embedded Engine
+// supplies the miss path and the Stats/Latency/MSHRInFlight surface.
 type SmallBlock struct {
+	*Engine
 	cfg    SmallBlockConfig
 	c      *cache.Cache
-	mshr   *mem.MSHR
-	h      *mem.Hierarchy
 	buffer *fillBuffer
-	stats  Stats
 }
 
 var _ Frontend = (*SmallBlock)(nil)
+var _ MSHROccupant = (*SmallBlock)(nil)
 
 // SmallBlockConfig sizes the design. The paper sizes the 16B and 32B
 // caches to a total storage budget similar to UBS (37.5KB and 35.75KB
-// respectively, dominated by a 32KB data array).
+// respectively, dominated by a 32KB data array). A degenerate 64B
+// configuration — one chunk per block, useful only as a differential
+// baseline against Conventional — is also accepted.
 type SmallBlockConfig struct {
 	Name       string
-	BlockSize  int // 16 or 32
+	BlockSize  int // 16 or 32 (64 for the degenerate differential baseline)
 	Sets, Ways int
 	Lat        uint64
 	MSHRs      int
-	BufferCap  int // 64B entries in the fill/prefetch buffer
+	BufferCap  int // 64B entries in the fill/prefetch buffer (0 disables it)
 }
 
 // SmallBlock16 returns the 16B-block configuration with a 32KB data array.
@@ -55,6 +57,9 @@ type fillBuffer struct {
 }
 
 func (f *fillBuffer) insert(block uint64) {
+	if f.cap == 0 {
+		return
+	}
 	for _, b := range f.blocks {
 		if b == block {
 			return
@@ -79,8 +84,8 @@ func (f *fillBuffer) contains(block uint64) bool {
 
 // NewSmallBlock builds the frontend over hierarchy h.
 func NewSmallBlock(cfg SmallBlockConfig, h *mem.Hierarchy) (*SmallBlock, error) {
-	if cfg.BlockSize != 16 && cfg.BlockSize != 32 {
-		return nil, fmt.Errorf("icache: small-block size %d not 16 or 32", cfg.BlockSize)
+	if cfg.BlockSize != 16 && cfg.BlockSize != 32 && cfg.BlockSize != 64 {
+		return nil, fmt.Errorf("icache: small-block size %d not 16, 32, or 64", cfg.BlockSize)
 	}
 	c, err := cache.New(cache.Config{
 		Name: cfg.Name, Sets: cfg.Sets, Ways: cfg.Ways, BlockSize: cfg.BlockSize,
@@ -89,22 +94,14 @@ func NewSmallBlock(cfg SmallBlockConfig, h *mem.Hierarchy) (*SmallBlock, error) 
 		return nil, err
 	}
 	return &SmallBlock{
-		cfg: cfg, c: c, mshr: mem.NewMSHR(cfg.MSHRs), h: h,
+		Engine: NewEngine(cfg.MSHRs, cfg.Lat, h),
+		cfg:    cfg, c: c,
 		buffer: &fillBuffer{cap: cfg.BufferCap},
 	}, nil
 }
 
 // Name identifies the design.
 func (sb *SmallBlock) Name() string { return sb.cfg.Name }
-
-// Latency returns the hit latency.
-func (sb *SmallBlock) Latency() uint64 { return sb.cfg.Lat }
-
-// Stats returns the accumulated counters.
-func (sb *SmallBlock) Stats() Stats { return sb.stats }
-
-// MSHRInFlight reports the live MSHR occupancy at cycle now.
-func (sb *SmallBlock) MSHRInFlight(now uint64) int { return sb.mshr.InFlight(now) }
 
 // Efficiency reports the storage-efficiency metric over the L1 array.
 func (sb *SmallBlock) Efficiency() (float64, bool) { return sb.c.Efficiency() }
@@ -127,14 +124,11 @@ func (sb *SmallBlock) chunks(addr uint64, size int) []uint64 {
 // Fetch implements Frontend. A fetch range (within one 64B block) may span
 // several small blocks; all must be resident for a hit.
 func (sb *SmallBlock) Fetch(addr uint64, size int, now uint64) Result {
-	sb.stats.Fetches++
 	ctx := cache.AccessContext{PC: addr, Cycle: now}
 	block64 := addr &^ 63
 
-	if done, pending := sb.mshr.Lookup(block64, now); pending {
-		sb.stats.Misses++
-		sb.stats.ByKind[FullMiss]++
-		return Result{Kind: FullMiss, Complete: done, Issued: true}
+	if r, merged := sb.Begin(block64, now); merged {
+		return r
 	}
 
 	missing := false
@@ -154,32 +148,21 @@ func (sb *SmallBlock) Fetch(addr uint64, size int, now uint64) Result {
 		for _, ch := range sb.chunks(addr, size) {
 			sb.c.Access(ch, 1, ctx) // policy + hit accounting per chunk
 		}
-		sb.stats.Hits++
-		sb.stats.ByKind[Hit]++
-		return Result{Kind: Hit}
+		return sb.Hit()
 	}
 
 	// Demand miss: fetch the full 64B block from the hierarchy, park it in
 	// the buffer, and install only the requested chunks.
-	if sb.mshr.Full(now) {
-		sb.mshr.RecordFullStall()
-		sb.stats.MSHRStalls++
-		return Result{Kind: FullMiss, Issued: false}
+	r := sb.Miss(block64, FullMiss, now, ctx)
+	if !r.Issued {
+		return r
 	}
-	done, ok := sb.h.FetchBlock(block64, now+sb.cfg.Lat, ctx)
-	if !ok {
-		sb.stats.MSHRStalls++
-		return Result{Kind: FullMiss, Issued: false}
-	}
-	sb.stats.Misses++
-	sb.stats.ByKind[FullMiss]++
-	sb.mshr.Insert(block64, done)
 	sb.buffer.insert(block64)
 	for _, ch := range sb.chunks(addr, size) {
 		sb.c.Fill(ch, ctx)
 	}
 	sb.markRange(addr, size)
-	return Result{Kind: FullMiss, Complete: done, Issued: true}
+	return r
 }
 
 // markRange records accessed units across the chunked range.
@@ -204,7 +187,7 @@ func (sb *SmallBlock) Prefetch(addr uint64, size int, now uint64) {
 	if sb.buffer.contains(block64) {
 		return
 	}
-	if _, pending := sb.mshr.Lookup(block64, now); pending {
+	if _, pending := sb.Pending(block64, now); pending {
 		return
 	}
 	// All requested chunks resident? Nothing to do.
@@ -218,17 +201,8 @@ func (sb *SmallBlock) Prefetch(addr uint64, size int, now uint64) {
 	if allHit {
 		return
 	}
-	if sb.mshr.Full(now) {
-		sb.stats.PrefetchDrops++
-		return
-	}
 	ctx := cache.AccessContext{PC: addr, Cycle: now, Prefetch: true}
-	done, ok := sb.h.FetchBlock(block64, now+sb.cfg.Lat, ctx)
-	if !ok {
-		sb.stats.PrefetchDrops++
-		return
+	if sb.Engine.Prefetch(block64, now, ctx) {
+		sb.buffer.insert(block64)
 	}
-	sb.stats.Prefetches++
-	sb.mshr.Insert(block64, done)
-	sb.buffer.insert(block64)
 }

@@ -383,13 +383,16 @@ func (h *Hierarchy) FetchBlock(addr, now uint64, ctx cache.AccessContext) (compl
 	return fillDone, true
 }
 
-// DataCache is the private L1-D frontend: a cache array plus MSHRs in
-// front of the shared hierarchy.
+// DataCache is the private L1-D frontend: a cache array composed with the
+// shared fetch engine in front of the hierarchy. The exported fields view
+// the engine's parts (observability gauges read MSHR directly).
 type DataCache struct {
 	C    *cache.Cache
 	Lat  uint64
 	MSHR *MSHR
 	H    *Hierarchy
+
+	eng *FetchEngine
 }
 
 // DataCacheConfig sizes the L1-D; Table I: 48KB 12-way, 5 cycles, 16 MSHRs.
@@ -416,7 +419,8 @@ func NewDataCache(cfg DataCacheConfig, h *Hierarchy) (*DataCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DataCache{C: c, Lat: cfg.Lat, MSHR: NewMSHR(cfg.MSHRs), H: h}, nil
+	eng := NewFetchEngine(cfg.MSHRs, cfg.Lat, h)
+	return &DataCache{C: c, Lat: cfg.Lat, MSHR: eng.File(), H: h, eng: eng}, nil
 }
 
 // Load issues a load at cycle now; it returns the data-ready cycle, or
@@ -426,18 +430,13 @@ func (d *DataCache) Load(addr, now uint64, ctx cache.AccessContext) (complete ui
 		return now + d.Lat, true
 	}
 	block := d.C.BlockAddr(addr)
-	if done, merged := d.MSHR.Lookup(block, now); merged {
+	if done, merged := d.eng.Pending(block, now); merged {
 		return done, true
 	}
-	if d.MSHR.Full(now) {
-		d.MSHR.RecordFullStall()
+	fill, st := d.eng.Issue(block, now, ctx, true)
+	if st.Stalled() {
 		return 0, false
 	}
-	fill, ok := d.H.FetchBlock(addr, now+d.Lat, ctx)
-	if !ok {
-		return 0, false
-	}
-	d.MSHR.Insert(block, fill)
 	d.C.Fill(block, ctx)
 	d.C.MarkAccessed(addr, 1)
 	return fill, true
@@ -452,19 +451,13 @@ func (d *DataCache) Store(addr, now uint64, ctx cache.AccessContext) (ok bool) {
 		return true
 	}
 	block := d.C.BlockAddr(addr)
-	if _, merged := d.MSHR.Lookup(block, now); merged {
+	if _, merged := d.eng.Pending(block, now); merged {
 		d.C.SetDirty(addr) // will be dirty once filled; fine in early-fill model
 		return true
 	}
-	if d.MSHR.Full(now) {
-		d.MSHR.RecordFullStall()
+	if _, st := d.eng.Issue(block, now, ctx, true); st.Stalled() {
 		return false
 	}
-	fill, ok2 := d.H.FetchBlock(addr, now+d.Lat, ctx)
-	if !ok2 {
-		return false
-	}
-	d.MSHR.Insert(block, fill)
 	d.C.Fill(block, ctx)
 	d.C.MarkAccessed(addr, 1)
 	d.C.SetDirty(addr)

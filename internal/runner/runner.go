@@ -84,8 +84,11 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 	// Phase 1: capture. Points are deduplicated across experiments by
 	// content key; first-seen order fixes the schedule and the order of
 	// the results.json runs array.
-	ids := sw.Spec.IDs()
-	plans := make([]expPlan, 0, len(ids))
+	exps, err := sw.Spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]expPlan, 0, len(exps))
 	var (
 		tasks   []Task
 		order   []string
@@ -93,11 +96,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 		usedBy  = make(map[string][]string)
 		auxSeen = make(map[string]bool)
 	)
-	for _, id := range ids {
-		e, err := exp.ByID(id)
-		if err != nil {
-			return nil, err
-		}
+	for _, e := range exps {
 		sims, aux, err := r.Capture(e)
 		if err != nil {
 			return nil, err
@@ -118,7 +117,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 					},
 				})
 			}
-			usedBy[key] = append(usedBy[key], id)
+			usedBy[key] = append(usedBy[key], e.ID)
 		}
 		for _, ax := range aux {
 			if auxSeen[ax.Key] {
@@ -134,7 +133,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 	workers := sw.Spec.Workers()
 	if sw.Progress != nil {
 		fmt.Fprintf(sw.Progress, "runner: %d experiment(s) -> %d unique run(s) on %d worker(s)\n",
-			len(ids), len(tasks), workers)
+			len(exps), len(tasks), workers)
 	}
 	sched := &Scheduler{Workers: workers, Progress: sw.Progress}
 	if err := sched.RunContext(ctx, tasks); err != nil {

@@ -23,7 +23,14 @@ import (
 type Spec struct {
 	// Experiments lists experiment ids (exp.Registry); empty, or any
 	// element equal to "all", selects every experiment in paper order.
+	// A spec that lists Designs but no Experiments runs only the
+	// synthesized custom experiment.
 	Experiments []string `json:"experiments,omitempty"`
+	// Designs, when non-empty, adds a synthesized "custom" experiment
+	// comparing the declared designs against the conv-32KB baseline
+	// (see exp.CustomExperiment). Each entry is a registry design spec:
+	//   {"kind": "ubs", "config": {"kb": 64}}
+	Designs []sim.DesignSpec `json:"designs,omitempty"`
 	// PerFamily caps workloads per family (0 = all).
 	PerFamily int `json:"per_family,omitempty"`
 	// Parallel is the worker count (0 = GOMAXPROCS).
@@ -79,6 +86,11 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	for i, spec := range s.Designs {
+		if _, err := sim.ResolveDesign(spec); err != nil {
+			return fmt.Errorf("runner: design %d: %w", i, err)
+		}
+	}
 	if s.PerFamily < 0 {
 		return fmt.Errorf("runner: negative per_family %d", s.PerFamily)
 	}
@@ -99,6 +111,31 @@ func (s Spec) IDs() []string {
 		}
 	}
 	return append([]string(nil), s.Experiments...)
+}
+
+// Plan resolves the spec to the concrete experiments to run: the selected
+// registry experiments in paper order, plus — when Designs is non-empty —
+// the synthesized custom experiment. A designs-only spec (Designs set,
+// Experiments empty) plans just the custom experiment.
+func (s Spec) Plan() ([]exp.Experiment, error) {
+	var out []exp.Experiment
+	if len(s.Experiments) > 0 || len(s.Designs) == 0 {
+		for _, id := range s.IDs() {
+			e, err := exp.ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+	}
+	if len(s.Designs) > 0 {
+		e, err := exp.CustomExperiment(s.Designs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // SimParams materialises the parameter overrides over sim.DefaultParams.

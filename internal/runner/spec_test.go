@@ -92,3 +92,79 @@ func TestSpecAllKeyword(t *testing.T) {
 		t.Errorf(`"all" not expanded: %v`, s.IDs())
 	}
 }
+
+// TestExampleSpecs keeps the committed example specs loadable.
+func TestExampleSpecs(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example specs found")
+	}
+	for _, p := range paths {
+		s, err := LoadSpec(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if _, err := s.Plan(); err != nil {
+			t.Errorf("%s: plan: %v", p, err)
+		}
+	}
+}
+
+func TestSpecDesigns(t *testing.T) {
+	path := writeSpec(t, `{
+		"experiments": ["fig10"],
+		"designs": [
+			{"kind": "ubs", "config": {"kb": 64}},
+			{"kind": "conv", "config": {"policy": "ghrp"}}
+		]
+	}`)
+	s, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "fig10" || exps[1].ID != "custom" {
+		ids := make([]string, len(exps))
+		for i, e := range exps {
+			ids[i] = e.ID
+		}
+		t.Fatalf("plan = %v, want [fig10 custom]", ids)
+	}
+
+	// Designs-only spec: just the synthesized custom experiment.
+	only := Spec{Designs: s.Designs}
+	exps, err = only.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 1 || exps[0].ID != "custom" {
+		t.Fatalf("designs-only plan has %d experiments", len(exps))
+	}
+
+	// Without designs, Plan matches IDs.
+	var zero Spec
+	exps, err = zero.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != len(exp.IDs()) {
+		t.Fatalf("zero-spec plan = %d experiments, want %d", len(exps), len(exp.IDs()))
+	}
+
+	// Validation resolves design specs eagerly.
+	bad := `{"designs": [{"kind": "bogus"}]}`
+	if _, err := LoadSpec(writeSpec(t, bad)); err == nil {
+		t.Error("unknown design kind accepted")
+	}
+	bad = `{"designs": [{"kind": "conv", "config": {"nope": 1}}]}`
+	if _, err := LoadSpec(writeSpec(t, bad)); err == nil {
+		t.Error("unknown design config field accepted")
+	}
+}

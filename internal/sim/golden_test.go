@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"ubscache/internal/icache"
+	"ubscache/internal/workload"
+)
+
+// goldenPoint pins one design's full simulation outcome on the Table I
+// baseline sweep setting.
+type goldenPoint struct {
+	Cycles       uint64
+	Instructions uint64
+	Stats        icache.Stats
+}
+
+// TestStatIdentityGolden pins zero behavioral drift across the fetch-engine
+// refactor and the design registry: the golden values below were captured
+// from the pre-refactor (seed) miss-path code on the server_0 preset, and
+// every design — now constructed through the registry — must reproduce
+// them exactly, down to the last counter. A deliberate behavior change
+// must re-capture these values and say so in its change description.
+func TestStatIdentityGolden(t *testing.T) {
+	golden := []struct {
+		design string
+		want   goldenPoint
+	}{
+		{"conv:32", goldenPoint{Cycles: 330008, Instructions: 100002, Stats: icache.Stats{Fetches: 36111, Hits: 33974, Misses: 2137, ByKind: [5]uint64{33974, 2137, 0, 0, 0}, MSHRStalls: 0, Prefetches: 3959, PrefetchDrops: 7597}}},
+		{"conv:64", goldenPoint{Cycles: 328123, Instructions: 100002, Stats: icache.Stats{Fetches: 35475, Hits: 33974, Misses: 1501, ByKind: [5]uint64{33974, 1501, 0, 0, 0}, MSHRStalls: 0, Prefetches: 2850, PrefetchDrops: 4246}}},
+		{"smallblock16", goldenPoint{Cycles: 329440, Instructions: 100002, Stats: icache.Stats{Fetches: 35817, Hits: 33974, Misses: 1827, ByKind: [5]uint64{33974, 1827, 0, 0, 0}, MSHRStalls: 16, Prefetches: 3312, PrefetchDrops: 5130}}},
+		{"smallblock32", goldenPoint{Cycles: 329677, Instructions: 100002, Stats: icache.Stats{Fetches: 35966, Hits: 33974, Misses: 1988, ByKind: [5]uint64{33974, 1988, 0, 0, 0}, MSHRStalls: 4, Prefetches: 3671, PrefetchDrops: 6273}}},
+		{"distill", goldenPoint{Cycles: 330563, Instructions: 100002, Stats: icache.Stats{Fetches: 36073, Hits: 33974, Misses: 2099, ByKind: [5]uint64{33974, 2099, 0, 0, 0}, MSHRStalls: 0, Prefetches: 5011, PrefetchDrops: 10082}}},
+		{"ghrp", goldenPoint{Cycles: 330087, Instructions: 100002, Stats: icache.Stats{Fetches: 36131, Hits: 33974, Misses: 2157, ByKind: [5]uint64{33974, 2157, 0, 0, 0}, MSHRStalls: 0, Prefetches: 4038, PrefetchDrops: 7424}}},
+		{"acic", goldenPoint{Cycles: 330008, Instructions: 100002, Stats: icache.Stats{Fetches: 36111, Hits: 33974, Misses: 2137, ByKind: [5]uint64{33974, 2137, 0, 0, 0}, MSHRStalls: 0, Prefetches: 3959, PrefetchDrops: 7597}}},
+		{"ubs", goldenPoint{Cycles: 329308, Instructions: 100002, Stats: icache.Stats{Fetches: 36189, Hits: 33974, Misses: 1818, ByKind: [5]uint64{33974, 1748, 51, 19, 0}, MSHRStalls: 397, Prefetches: 3457, PrefetchDrops: 5167}}},
+	}
+
+	wcfg, err := workload.Preset(workload.FamilyServer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Warmup = 20_000
+	p.Measure = 100_000
+
+	for _, g := range golden {
+		g := g
+		t.Run(g.design, func(t *testing.T) {
+			t.Parallel()
+			d, err := ParseDesign(g.design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(p, wcfg, d.Name, d.Factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := (goldenPoint{res.Core.Cycles, res.Core.Instructions, res.ICache}); got != g.want {
+				t.Errorf("%s drifted from the seed behavior:\n got  %+v\n want %+v",
+					d.Name, got, g.want)
+			}
+		})
+	}
+}

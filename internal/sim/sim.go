@@ -68,6 +68,10 @@ func DefaultParams() Params {
 type FrontendFactory func(h *mem.Hierarchy) (icache.Frontend, error)
 
 // ConvFactory builds a conventional L1-I.
+//
+// Deprecated: resolve designs through the registry (ResolveDesign,
+// ParseDesign, or NewConvDesign) instead; the registry reaches this same
+// constructor and additionally yields the design's canonical name.
 func ConvFactory(cfg icache.ConventionalConfig) FrontendFactory {
 	return func(h *mem.Hierarchy) (icache.Frontend, error) {
 		return icache.NewConventional(cfg, h)
@@ -75,6 +79,9 @@ func ConvFactory(cfg icache.ConventionalConfig) FrontendFactory {
 }
 
 // UBSFactory builds a UBS cache.
+//
+// Deprecated: resolve designs through the registry (ResolveDesign,
+// ParseDesign, or NewUBSDesign) instead.
 func UBSFactory(cfg ubs.Config) FrontendFactory {
 	return func(h *mem.Hierarchy) (icache.Frontend, error) {
 		return ubs.New(cfg, h)
@@ -82,6 +89,9 @@ func UBSFactory(cfg ubs.Config) FrontendFactory {
 }
 
 // SmallBlockFactory builds a small-block L1-I.
+//
+// Deprecated: resolve designs through the registry (ResolveDesign,
+// ParseDesign, or NewSmallBlockDesign) instead.
 func SmallBlockFactory(cfg icache.SmallBlockConfig) FrontendFactory {
 	return func(h *mem.Hierarchy) (icache.Frontend, error) {
 		return icache.NewSmallBlock(cfg, h)
@@ -89,6 +99,9 @@ func SmallBlockFactory(cfg icache.SmallBlockConfig) FrontendFactory {
 }
 
 // DistillFactory builds a Line Distillation L1-I.
+//
+// Deprecated: resolve designs through the registry (ResolveDesign,
+// ParseDesign, or NewDistillDesign) instead.
 func DistillFactory(cfg icache.DistillConfig) FrontendFactory {
 	return func(h *mem.Hierarchy) (icache.Frontend, error) {
 		return icache.NewDistill(cfg, h)

@@ -36,7 +36,9 @@ func (w *wayEntry) containsGranule(g int) bool {
 	return w.valid && g >= w.start && g < w.start+w.stored
 }
 
-// Stats extends the common frontend counters with UBS-specific ones.
+// Stats extends the common frontend counters with UBS-specific ones. The
+// embedded icache.Stats are accounted by the shared icache.Engine;
+// UBSStats merges them into the extended set.
 type Stats struct {
 	icache.Stats
 	PredictorHits   uint64 // demand hits served by the predictor
@@ -50,16 +52,17 @@ type Stats struct {
 	Congruence CongruenceStats
 }
 
-// Cache is the UBS instruction cache frontend.
+// Cache is the UBS instruction cache frontend. The embedded icache.Engine
+// supplies the miss path, the common counters, and the Stats/Latency/
+// MSHRInFlight surface; stats holds only the UBS-specific extensions.
 type Cache struct {
+	*icache.Engine
 	cfg     Config
 	granule int          // offset granularity in bytes (4 or 1)
 	ng      int          // granules per 64B block (16 or 64)
 	ways    [][]wayEntry // [set][way]
 	wayG    []int        // way capacity in granules
 	pred    *predictor
-	mshr    *mem.MSHR
-	h       *mem.Hierarchy
 	clock   uint64 // LRU clock
 	stats   Stats
 	// setMask indexes sets without a hardware divide when Sets is a power
@@ -84,13 +87,14 @@ type tagSpan struct {
 }
 
 var _ icache.Frontend = (*Cache)(nil)
+var _ icache.MSHROccupant = (*Cache)(nil)
 
 // New builds a UBS cache over hierarchy h.
 func New(cfg Config, h *mem.Hierarchy) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	u := &Cache{cfg: cfg, h: h, mshr: mem.NewMSHR(cfg.MSHRs),
+	u := &Cache{Engine: icache.NewEngine(cfg.MSHRs, cfg.Lat, h), cfg: cfg,
 		granule: cfg.granule(), ng: cfg.Granules()}
 	if cfg.Sets&(cfg.Sets-1) == 0 {
 		u.setPow2 = true
@@ -129,20 +133,16 @@ func MustNew(cfg Config, h *mem.Hierarchy) *Cache {
 // Name identifies the design.
 func (u *Cache) Name() string { return u.cfg.Name }
 
-// Latency returns the hit latency.
-func (u *Cache) Latency() uint64 { return u.cfg.Lat }
-
 // Config returns the configuration.
 func (u *Cache) Config() Config { return u.cfg }
 
-// Stats returns the common frontend counters.
-func (u *Cache) Stats() icache.Stats { return u.stats.Stats }
-
-// UBSStats returns the full UBS counter set.
-func (u *Cache) UBSStats() Stats { return u.stats }
-
-// MSHRInFlight reports the live MSHR occupancy at cycle now.
-func (u *Cache) MSHRInFlight(now uint64) int { return u.mshr.InFlight(now) }
+// UBSStats returns the full UBS counter set: the engine's common counters
+// merged with the UBS-specific extensions.
+func (u *Cache) UBSStats() Stats {
+	st := u.stats
+	st.Stats = u.Engine.Stats()
+	return st
+}
 
 func (u *Cache) setIndex(block uint64) int {
 	if u.setPow2 {
@@ -200,15 +200,12 @@ func (u *Cache) classify(block uint64, g0, g1 int) (way int, kind icache.Kind) {
 // Fetch implements icache.Frontend. The predictor and the ways are probed
 // in parallel; a request can hit in only one of them (§IV-E).
 func (u *Cache) Fetch(addr uint64, size int, now uint64) icache.Result {
-	u.stats.Fetches++
 	block, g0, g1 := u.granules(addr, size)
 
 	// A block still in flight is unusable; subsequent fetches merge.
-	if done, pending := u.mshr.Lookup(block, now); pending {
+	if r, merged := u.Begin(block, now); merged {
 		u.pred.mark(block, g0, g1) // bytes will be useful on arrival
-		u.stats.Misses++
-		u.stats.ByKind[icache.FullMiss]++
-		return icache.Result{Kind: icache.FullMiss, Complete: done, Issued: true}
+		return r
 	}
 
 	// Predictor probe. A demand fetch clears the prefetched flag: the
@@ -217,10 +214,8 @@ func (u *Cache) Fetch(addr uint64, size int, now uint64) icache.Result {
 		if e := u.pred.lookup(block, false); e != nil {
 			e.prefetched = false
 		}
-		u.stats.Hits++
-		u.stats.ByKind[icache.Hit]++
 		u.stats.PredictorHits++
-		return icache.Result{Kind: icache.Hit}
+		return u.Hit()
 	}
 
 	// Way probe.
@@ -241,29 +236,17 @@ func (u *Cache) Fetch(addr uint64, size int, now uint64) icache.Result {
 				u.admit.trainReuse(e.tag)
 			}
 		}
-		u.stats.Hits++
-		u.stats.ByKind[icache.Hit]++
 		u.stats.WayHits++
-		return icache.Result{Kind: icache.Hit}
+		return u.Hit()
 	}
 
 	// Miss (full or partial): fetch the whole 64B block from L2 (§IV-F).
-	if u.mshr.Full(now) {
-		u.mshr.RecordFullStall()
-		u.stats.MSHRStalls++
-		return icache.Result{Kind: kind, Issued: false}
-	}
 	ctx := cache.AccessContext{PC: addr, Cycle: now}
-	done, ok := u.h.FetchBlock(block, now+u.cfg.Lat, ctx)
-	if !ok {
-		u.stats.MSHRStalls++
-		return icache.Result{Kind: kind, Issued: false}
+	r := u.Miss(block, kind, now, ctx)
+	if r.Issued {
+		u.install(block, now, rangeMask(g0, g1), false)
 	}
-	u.stats.Misses++
-	u.stats.ByKind[kind]++
-	u.mshr.Insert(block, done)
-	u.install(block, now, rangeMask(g0, g1), false)
-	return icache.Result{Kind: kind, Complete: done, Issued: true}
+	return r
 }
 
 // install places an incoming 64B block into the predictor: resident
@@ -436,21 +419,10 @@ func (u *Cache) Prefetch(addr uint64, size int, now uint64) {
 		_ = w
 		return
 	}
-	if _, pending := u.mshr.Lookup(block, now); pending {
-		return
-	}
-	if u.mshr.Full(now) {
-		u.stats.PrefetchDrops++
-		return
-	}
 	ctx := cache.AccessContext{PC: addr, Cycle: now, Prefetch: true}
-	done, ok := u.h.FetchBlock(block, now+u.cfg.Lat, ctx)
-	if !ok {
-		u.stats.PrefetchDrops++
+	if !u.Engine.Prefetch(block, now, ctx) {
 		return
 	}
-	u.stats.Prefetches++
-	u.mshr.Insert(block, done)
 	u.install(block, now, 0, true)
 	if e := u.pred.lookup(block, false); e != nil {
 		e.prefMask |= rangeMask(g0, g1)

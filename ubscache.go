@@ -25,9 +25,9 @@ import (
 	"context"
 	"io"
 
-	"ubscache/internal/cache"
 	"ubscache/internal/exp"
 	"ubscache/internal/icache"
+	"ubscache/internal/mem"
 	"ubscache/internal/obs"
 	"ubscache/internal/sim"
 	"ubscache/internal/trace"
@@ -88,30 +88,73 @@ func WriteTrace(path string, src Source, n uint64) (uint64, error) {
 	return trace.WriteAll(path, trace.NewLimit(src, n))
 }
 
-// Design names an instruction-cache organisation under test.
+// Design names an instruction-cache organisation under test. All
+// constructors resolve through the sim design registry; ParseDesign and
+// ResolveDesign expose the registry's shorthand and declarative entry
+// points directly.
 type Design struct {
 	Name    string
 	factory sim.FrontendFactory
 }
 
+// DesignSpec is the declarative, JSON-serializable design description
+// used by sweep specs and ResolveDesign: a registered kind ("conv",
+// "ubs", "smallblock", "distill") plus kind-specific configuration.
+type DesignSpec = sim.DesignSpec
+
+// ParseDesign resolves a design shorthand — the same grammar as
+// `ubsim -design` (conv:<KB>, ubs, ubs:<KB>, ghrp, acic, smallblock16,
+// distill, ...) or an inline JSON DesignSpec starting with '{'.
+func ParseDesign(name string) (Design, error) {
+	d, err := sim.ParseDesign(name)
+	if err != nil {
+		return Design{}, err
+	}
+	return Design{d.Name, d.Factory}, nil
+}
+
+// ResolveDesign materialises a declarative DesignSpec.
+func ResolveDesign(spec DesignSpec) (Design, error) {
+	d, err := sim.ResolveDesign(spec)
+	if err != nil {
+		return Design{}, err
+	}
+	return Design{d.Name, d.Factory}, nil
+}
+
+// DesignKinds lists the registered design kinds, sorted.
+func DesignKinds() []string { return sim.DesignKinds() }
+
+// fromSim adapts a registry design, deferring any construction error to
+// simulation time (the facade constructors are error-free by contract; an
+// invalid configuration surfaces when the design is first simulated).
+func fromSim(d sim.Design, err error) Design {
+	if err != nil {
+		return Design{Name: "invalid", factory: func(*mem.Hierarchy) (icache.Frontend, error) {
+			return nil, err
+		}}
+	}
+	return Design{d.Name, d.Factory}
+}
+
 // Conventional returns a fixed-64B-block L1-I of the given capacity in KB
 // (8 ways, LRU; the kb=32 point is the paper's Table I baseline).
 func Conventional(kb int) Design {
-	cfg := icache.ConvSized(kb << 10)
-	return Design{cfg.Name, sim.ConvFactory(cfg)}
+	return fromSim(sim.NewConvDesign(sim.ConvDesign{KB: kb}))
 }
 
 // UBS returns the paper's default Table II UBS cache (a 32KB-class budget).
-func UBS() Design { return Design{"ubs", sim.UBSFactory(ubs.DefaultConfig())} }
+func UBS() Design { return fromSim(sim.NewUBSDesign(sim.UBSDesign{})) }
 
 // UBSSized returns a UBS cache scaled to roughly kb KB of storage budget.
 func UBSSized(kb int) Design {
-	cfg := ubs.Sized(kb)
-	return Design{cfg.Name, sim.UBSFactory(cfg)}
+	return fromSim(sim.NewUBSDesign(sim.UBSDesign{KB: kb}))
 }
 
 // UBSCustom wraps an arbitrary UBS configuration.
-func UBSCustom(cfg UBSConfig) Design { return Design{cfg.Name, sim.UBSFactory(cfg)} }
+func UBSCustom(cfg UBSConfig) Design {
+	return fromSim(sim.NewUBSDesign(sim.UBSDesign{Custom: &cfg}))
+}
 
 // UBSConfig is the full UBS cache configuration (way sizes, predictor
 // organisation, placement window...).
@@ -123,39 +166,30 @@ func DefaultUBSConfig() UBSConfig { return ubs.DefaultConfig() }
 // UBSX86 returns the Table II UBS cache in byte-granularity mode for
 // variable-length ISAs (§IV-B/§IV-C: byte bit-vectors, 6-bit offsets).
 func UBSX86() Design {
-	cfg := ubs.DefaultConfig()
-	cfg.Name = "ubs-x86"
-	cfg.OffsetGranule = 1
-	return Design{cfg.Name, sim.UBSFactory(cfg)}
+	return fromSim(sim.NewUBSDesign(sim.UBSDesign{Name: "ubs-x86", OffsetGranule: 1}))
 }
 
 // SmallBlock returns the 16B- or 32B-block baseline of Figure 12.
 func SmallBlock(blockBytes int) Design {
 	if blockBytes == 16 {
-		return Design{"conv-16B-block", sim.SmallBlockFactory(icache.SmallBlock16())}
+		return fromSim(sim.NewSmallBlockDesign(sim.SmallBlockDesign{}))
 	}
-	return Design{"conv-32B-block", sim.SmallBlockFactory(icache.SmallBlock32())}
+	return fromSim(sim.NewSmallBlockDesign(sim.SmallBlockDesign{BlockSize: 32}))
 }
 
 // LineDistillation returns the Figure 13 Line Distillation baseline.
 func LineDistillation() Design {
-	return Design{"line-distill", sim.DistillFactory(icache.DefaultDistill())}
+	return fromSim(sim.NewDistillDesign(sim.DistillDesign{}))
 }
 
 // GHRP returns the 32KB baseline with GHRP replacement (Figure 13).
 func GHRP() Design {
-	cfg := icache.Baseline32K()
-	cfg.Name = "ghrp"
-	cfg.NewPolicy = cache.NewGHRP
-	return Design{"ghrp", sim.ConvFactory(cfg)}
+	return fromSim(sim.NewConvDesign(sim.ConvDesign{Policy: "ghrp"}))
 }
 
 // ACIC returns the 32KB baseline with admission control (Figure 13).
 func ACIC() Design {
-	cfg := icache.Baseline32K()
-	cfg.Name = "acic"
-	cfg.ACIC = true
-	return Design{"acic", sim.ConvFactory(cfg)}
+	return fromSim(sim.NewConvDesign(sim.ConvDesign{ACIC: true}))
 }
 
 // Options configure a simulation run.
