@@ -3,7 +3,7 @@ package ubscache
 // The benchmark harness: one benchmark per table and figure of the paper
 // (BenchmarkFig*/BenchmarkTable*), each regenerating the corresponding
 // artifact at a reduced scale (one workload per family, short runs), plus
-// the DESIGN.md §8 ablation benches and microbenchmarks of the core data
+// the DESIGN.md §9 ablation benches and microbenchmarks of the core data
 // structures.
 //
 // Full-scale regeneration: cmd/ubsweep (e.g. `ubsweep -exp fig10`).
@@ -62,7 +62,7 @@ func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
 func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
 func BenchmarkCVP(b *testing.B)    { benchExperiment(b, "cvp") }
 
-// --- Ablation benches (DESIGN.md §8) ---------------------------------
+// --- Ablation benches (DESIGN.md §9) ---------------------------------
 
 // ablationRun simulates server_001 on a UBS variant and reports MPKI and
 // IPC as benchmark metrics.

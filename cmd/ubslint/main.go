@@ -1,0 +1,59 @@
+// Command ubslint checks the repository's simulator invariants with the
+// go/analysis suite in internal/analysis (misspath, statsexhaustive,
+// determinism, hotpathalloc, atomicfield).
+//
+// It speaks the go vet tool protocol, so the canonical invocation is
+//
+//	go build -o /tmp/ubslint ./cmd/ubslint
+//	go vet -vettool=/tmp/ubslint ./...
+//
+// As a convenience, invoking it directly with package patterns re-execs
+// the go command with itself as the vet tool:
+//
+//	ubslint ./...
+//	ubslint -misspath ./internal/...   # run a single analyzer
+//
+// Exit status is non-zero when any diagnostic is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ubscache/internal/analysis/ubslint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// Vet-tool invocations end in a *.cfg file (and the go command's
+	// protocol probes are flag-only: -flags, -V=full). Anything with a
+	// trailing package pattern is a human: delegate package loading to
+	// `go vet` with ourselves as the tool.
+	if len(args) > 0 && !strings.HasSuffix(args[len(args)-1], ".cfg") && !strings.HasPrefix(args[len(args)-1], "-") {
+		os.Exit(delegate(args))
+	}
+	unitchecker.Main(ubslint.Analyzers()...)
+}
+
+func delegate(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ubslint: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "ubslint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,3 +1,13 @@
 module ubscache
 
-go 1.22
+go 1.22.0
+
+toolchain go1.24.0
+
+// The go/analysis framework behind cmd/ubslint. The tree under
+// third_party/ is the subset of golang.org/x/tools that the Go
+// distribution itself vendors (see third_party/golang.org/x/tools/LICENSE),
+// pinned locally so the lint suite builds hermetically.
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,136 @@
+// Package atomicfield enforces all-or-nothing atomicity: a struct field
+// (or package-level variable) that is ever accessed through a sync/atomic
+// function — atomic.AddUint64(&s.n, 1), atomic.LoadUint64(&s.n), ... —
+// must be accessed that way everywhere in the package. A single plain
+// read or write (s.n++, x := s.n) alongside atomic use is a data race
+// that the race detector only catches when the interleaving happens to
+// fire; this rule makes it a compile-time diagnostic.
+//
+// Fields declared with the method-style types (atomic.Uint64, atomic.Bool,
+// ...) are safe by construction and need no checking — internal/obs uses
+// those for all its instruments. The rule exists to keep mixed-style
+// regressions out as the observability layer grows.
+//
+// Deliberate pre-publication access (constructor initialisation before
+// the value is shared) can be waived per line with //ubs:nonatomic.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ubscache/internal/analysis/lintutil"
+)
+
+// Analyzer is the atomicfield rule.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicfield",
+	Doc:      "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	type use struct {
+		obj  types.Object
+		pos  token.Pos
+		file *ast.File
+	}
+	atomicUse := map[types.Object]token.Pos{} // first sync/atomic access per object
+	atomicArg := map[token.Pos]bool{}         // positions of &obj expressions inside atomic calls
+	var plainUses []use                       // every other load/store candidate, in source order
+
+	// Single traversal: record atomic call arguments and candidate plain
+	// uses; reconcile afterwards.
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.SelectorExpr)(nil), (*ast.Ident)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		file, _ := stack[0].(*ast.File)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			obj, addr := atomicCallTarget(pass.TypesInfo, n)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicUse[obj]; !seen {
+				atomicUse[obj] = n.Pos()
+			}
+			atomicArg[addr] = true
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				plainUses = append(plainUses, use{obj: sel.Obj(), pos: n.Pos(), file: file})
+			}
+		case *ast.Ident:
+			// Package-level vars addressed directly in atomic calls.
+			if obj, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && !obj.IsField() && obj.Parent() == obj.Pkg().Scope() {
+				plainUses = append(plainUses, use{obj: obj, pos: n.Pos(), file: file})
+			}
+		}
+		return true
+	})
+
+	if len(atomicUse) == 0 {
+		return nil, nil
+	}
+	waiversByFile := map[*ast.File]*lintutil.Waivers{}
+	for _, u := range plainUses {
+		first, tracked := atomicUse[u.obj]
+		if !tracked || atomicArg[u.pos] {
+			continue
+		}
+		w := waiversByFile[u.file]
+		if w == nil && u.file != nil {
+			w = lintutil.NewWaivers(pass.Fset, u.file)
+			waiversByFile[u.file] = w
+		}
+		if w != nil && w.Waived(u.pos, "nonatomic") {
+			continue
+		}
+		pass.Reportf(u.pos,
+			"plain access to %s, which is accessed via sync/atomic at %s: mixed plain/atomic access races (waive audited pre-publication writes with //ubs:nonatomic)",
+			u.obj.Name(), pass.Fset.Position(first))
+	}
+	return nil, nil
+}
+
+// atomicCallTarget returns the variable whose address is taken by the
+// first argument of a sync/atomic package-level call — the classic
+// atomic.XxxUint64(&v, ...) shape — along with the position of the
+// addressed expression. It returns (nil, 0) for anything else.
+func atomicCallTarget(info *types.Info, call *ast.CallExpr) (types.Object, token.Pos) {
+	fn, ok := typeutil.Callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, 0
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil, 0 // methods on atomic.Uint64 et al. are safe by construction
+	}
+	if len(call.Args) == 0 {
+		return nil, 0
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, 0
+	}
+	switch x := ast.Unparen(un.X).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), x.Pos()
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok {
+			return obj, x.Pos()
+		}
+	}
+	return nil, 0
+}

@@ -1,0 +1,11 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "atomicfield", "testdata/mod")
+}

@@ -1,0 +1,45 @@
+// Package a mixes atomic and plain access to the same words — the race
+// pattern the atomicfield analyzer exists to catch.
+package a
+
+import "sync/atomic"
+
+// hits is bumped atomically from handlers but read bare from reports.
+var hits uint64
+
+// counter mixes atomic increments with plain reads of n; m is never
+// touched atomically and stays free.
+type counter struct {
+	n uint64
+	m uint64
+}
+
+// Bump is the atomic writer side.
+func (c *counter) Bump() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&hits, 1)
+	c.m++
+}
+
+// Read races with Bump: plain loads of atomically-written words.
+func (c *counter) Read() uint64 {
+	return c.n + // want `plain access to n`
+		hits // want `plain access to hits`
+}
+
+// ReadSafe uses the matching atomic loads.
+func (c *counter) ReadSafe() uint64 {
+	return atomic.LoadUint64(&c.n) + atomic.LoadUint64(&hits)
+}
+
+// PlainOnly touches only the never-atomic field.
+func (c *counter) PlainOnly() uint64 { return c.m }
+
+// newCounter initialises before the counter is shared; the plain write
+// is safe and waived.
+func newCounter() *counter {
+	c := &counter{}
+	//ubs:nonatomic pre-publication init, not yet shared
+	c.n = 0
+	return c
+}

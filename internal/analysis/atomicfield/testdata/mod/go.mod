@@ -1,0 +1,3 @@
+module atomicfield.example
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package determinism pins the reproduction's core methodological claim:
+// a trace-driven run is a pure function of (trace, design, params). Inside
+// the result-producing packages — internal/sim, internal/exp,
+// internal/runner, internal/obs — it forbids the three ways wall-clock or
+// scheduler state has historically leaked into published numbers:
+//
+//   - time.Now: simulation time is the cycle counter, never the host
+//     clock. Wall-clock duration metadata (results.json "seconds" fields,
+//     scheduler pacing) is legitimate; mark the enclosing function
+//     //ubs:wallclock to record that its time.Now feeds metadata only.
+//   - math/rand's global source (rand.Intn, rand.Int63, rand.Seed, ...):
+//     anything stochastic must draw from an explicitly seeded *rand.Rand
+//     so a run can be replayed bit-for-bit.
+//   - ranging over a map while writing to an encoder or output stream
+//     (json.Encoder.Encode, csv.Writer.Write, fmt.Fprint*, Write*
+//     methods): Go randomises map iteration order, so the artifact bytes
+//     change run to run. Collect keys and sort them first, or — for an
+//     audited order-insensitive loop — waive the range statement with
+//     //ubs:deterministic.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ubscache/internal/analysis/lintutil"
+)
+
+// Analyzer is the determinism rule.
+var Analyzer = &analysis.Analyzer{
+	Name:     "determinism",
+	Doc:      "result-producing packages must stay trace-deterministic (no wall clock, no global RNG, no map-order output)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// scope lists the package roles whose outputs become published numbers.
+var scope = []string{"internal/sim", "internal/exp", "internal/runner", "internal/obs"}
+
+// seededConstructors are the math/rand package-level functions that build
+// explicit sources and generators rather than touching the global one.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgPathHasSuffix(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	waiversByFile := map[*ast.File]*lintutil.Waivers{}
+	for _, f := range pass.Files {
+		waiversByFile[f] = lintutil.NewWaivers(pass.Fset, f)
+	}
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || lintutil.InTestFile(pass, n.Pos()) {
+			return false
+		}
+		file, _ := stack[0].(*ast.File)
+		waivers := waiversByFile[file]
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, stack, waivers)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, waivers)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, waivers *lintutil.Waivers) {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() != "Now" {
+			return
+		}
+		if fd := lintutil.EnclosingFuncDecl(stack); fd != nil && lintutil.HasDirective(fd.Doc, "wallclock") {
+			return
+		}
+		if waivers != nil && waivers.Waived(call.Pos(), "wallclock") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"time.Now in a result-producing package: simulation time is the cycle counter; mark the function //ubs:wallclock if this feeds wall-clock metadata only")
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil { // methods on an explicit *rand.Rand are fine
+			return
+		}
+		if seededConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s uses the global math/rand source: draw from an explicitly seeded *rand.Rand so runs replay bit-for-bit", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, waivers *lintutil.Waivers) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if waivers != nil && waivers.Waived(rng.Pos(), "deterministic") {
+		return
+	}
+	// Only map ranges that emit inside the loop are flagged: collect-then-
+	// sort loops (append into a slice, sort after) stay legal.
+	var emit *ast.CallExpr
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if emit != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isEmitCall(pass.TypesInfo, call) {
+			emit = call
+			return false
+		}
+		return true
+	})
+	if emit == nil {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"range over map writes to an output stream inside the loop: map order is randomised, so artifact bytes differ run to run; sort the keys first (or waive an audited loop with //ubs:deterministic)")
+}
+
+// isEmitCall reports whether call writes to an output stream or encoder:
+// fmt.Fprint*, or any Encode/Write/WriteAll/WriteString/WriteByte/
+// WriteRune method (json.Encoder, csv.Writer, io.Writer, bufio.Writer,
+// strings.Builder, ...).
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := typeutil.Callee(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Encode", "Write", "WriteAll", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}

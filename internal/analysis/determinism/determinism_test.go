@@ -1,0 +1,11 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "determinism", "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module determinism.example
+
+go 1.22

@@ -1,0 +1,14 @@
+// Package pkg sits outside the determinism scope: the same patterns are
+// legal here.
+package pkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Free mixes wall clock and global RNG outside the result-producing
+// packages.
+func Free() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(6))
+}

@@ -1,0 +1,231 @@
+// Package hotpathalloc keeps the simulator's per-access hot paths
+// allocation-free by construction. Functions marked with a //ubs:hotpath
+// doc directive — the fetch-engine, MSHR, decode-queue, and predictor
+// paths pinned by BenchmarkHotPath — must not contain the source patterns
+// that heap-allocate:
+//
+//	make / new / append          (append is waivable: a push into a
+//	                              preallocated, reused backing array is
+//	                              amortised allocation-free — audit it and
+//	                              mark the line //ubs:allowalloc)
+//	func literals                (closure environments escape)
+//	&T{...}, []T{...}, map{...}  (heap composite literals; plain value
+//	                              struct/array literals stay legal)
+//	string + string, string<->[]byte/[]rune conversions
+//	fmt.* calls, interface boxing of non-pointer values
+//	defer / go statements
+//
+// The check is intentionally non-transitive: it audits marked bodies
+// only. The dynamic backstop — BenchmarkHotPath plus the
+// TestHotPathAllocGate CI gate asserting 0 allocs/op — catches allocation
+// smuggled in through callees.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ubscache/internal/analysis/lintutil"
+)
+
+// Analyzer is the hotpathalloc rule.
+var Analyzer = &analysis.Analyzer{
+	Name:     "hotpathalloc",
+	Doc:      "functions marked //ubs:hotpath must not contain allocating source patterns",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	waiversByFile := map[*ast.File]*lintutil.Waivers{}
+
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !lintutil.HasDirective(fd.Doc, "hotpath") {
+			return false
+		}
+		file, _ := stack[0].(*ast.File)
+		waivers := waiversByFile[file]
+		if waivers == nil && file != nil {
+			waivers = lintutil.NewWaivers(pass.Fset, file)
+			waiversByFile[file] = waivers
+		}
+		checkBody(pass, fd, waivers)
+		return false
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	fn      *ast.FuncDecl
+	waivers *lintutil.Waivers
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, waivers *lintutil.Waivers) {
+	c := &checker{pass: pass, fn: fd, waivers: waivers}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.FuncLit:
+			c.report(n.Pos(), "func literal", "closures allocate their environment")
+			return false // the literal's own body is the closure's problem
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.report(n.Pos(), "&composite literal", "escaping composite literals heap-allocate")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := c.pass.TypesInfo.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					c.report(n.Pos(), "slice literal", "slice literals allocate backing arrays")
+				case *types.Map:
+					c.report(n.Pos(), "map literal", "map literals allocate")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := c.pass.TypesInfo.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						c.report(n.Pos(), "string concatenation", "string + allocates")
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			c.report(n.Pos(), "defer", "defer records allocate in loops and cost on every path")
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement", "goroutine launch allocates a stack")
+		}
+		return true
+	})
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				c.report(call.Pos(), "append", "append may grow the backing array (waive an audited preallocated push with //ubs:allowalloc)")
+			case "make":
+				c.report(call.Pos(), "make", "make allocates")
+			case "new":
+				c.report(call.Pos(), "new", "new allocates")
+			}
+			return
+		}
+	}
+
+	// Conversions: string<->[]byte/[]rune and boxing into interfaces.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.TypeOf(call.Args[0])
+		if from != nil {
+			if isStringBytesConv(to, from) {
+				c.report(call.Pos(), "string conversion", "string<->[]byte/[]rune conversions copy and allocate")
+			} else if types.IsInterface(to.Underlying()) && boxes(from) {
+				c.report(call.Pos(), "interface conversion", "boxing a non-pointer value into an interface allocates")
+			}
+		}
+		return
+	}
+
+	// fmt in a hot path means boxing plus formatting work.
+	if fn, ok := typeutil.Callee(info, call).(*types.Func); ok {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			c.report(call.Pos(), "fmt."+fn.Name(), "fmt calls box arguments and allocate")
+			return
+		}
+	}
+
+	// Implicit boxing at call boundaries: a concrete non-pointer argument
+	// passed where the parameter is an interface.
+	sig, ok := typeOfFun(info, call)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // pass-through of an existing slice
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param.Underlying()) {
+			continue
+		}
+		if at := info.TypeOf(arg); at != nil && boxes(at) {
+			c.report(arg.Pos(), "interface argument", "boxing a non-pointer value into an interface parameter allocates")
+		}
+	}
+}
+
+func typeOfFun(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// boxes reports whether converting a value of type t to an interface may
+// heap-allocate: concrete non-pointer, non-interface types do (small
+// pointer-shaped values aside, which escape analysis cannot be assumed to
+// save in a hot path). Untyped nil never boxes.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+func isStringBytesConv(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func (c *checker) report(pos token.Pos, what, why string) {
+	if c.waivers != nil && c.waivers.Waived(pos, "allowalloc") {
+		return
+	}
+	c.pass.Reportf(pos, "%s in //ubs:hotpath function %s: %s", what, c.fn.Name.Name, why)
+}

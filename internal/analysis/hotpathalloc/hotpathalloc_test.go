@@ -1,0 +1,11 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, "hotpathalloc", "testdata/mod")
+}

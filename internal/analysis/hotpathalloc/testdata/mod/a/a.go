@@ -1,0 +1,69 @@
+// Package a exercises every allocation pattern the hotpathalloc analyzer
+// recognises inside //ubs:hotpath-marked functions.
+package a
+
+import "fmt"
+
+type block struct {
+	addr uint64
+	data []byte
+}
+
+type sink interface{ take(any) }
+
+// Grow is per-fetch: every allocation here is per-instruction cost.
+//
+//ubs:hotpath
+func Grow(s []int, n int) []int {
+	s = append(s, n)        // want `append may grow`
+	buf := make([]byte, 64) // want `make allocates`
+	p := new(block)         // want `new allocates`
+	_ = buf
+	_ = p
+	return s
+}
+
+// Box exercises boxing and conversion allocations.
+//
+//ubs:hotpath
+func Box(n int, bs []byte, s sink) string {
+	v := any(n) // want `boxing a non-pointer value into an interface allocates`
+	_ = v
+	str := string(bs)     // want `conversions copy and allocate`
+	bs2 := []byte("hi")   // want `conversions copy and allocate`
+	out := str + "suffix" // want `string concatenation`
+	fmt.Println(n)        // want `fmt calls box`
+	s.take(n)             // want `interface parameter allocates`
+	s.take(&n)
+	_ = bs2
+	return out
+}
+
+// Spawn exercises closures, defers, goroutines, and composite literals.
+//
+//ubs:hotpath
+func Spawn(done func()) *block {
+	f := func() {}        // want `closures allocate`
+	defer done()          // want `defer records allocate`
+	go f()                // want `goroutine launch allocates`
+	m := map[uint64]int{} // want `map literals allocate`
+	ids := []uint64{1}    // want `slice literals allocate`
+	_ = m
+	_ = ids
+	return &block{addr: 1} // want `escaping composite literals`
+}
+
+// Reuse grows a pooled buffer once at steady state; the growth is
+// amortised and waived.
+//
+//ubs:hotpath
+func Reuse(pool []block, b block) []block {
+	//ubs:allowalloc amortised growth, pooled across fetches
+	pool = append(pool, b)
+	return pool
+}
+
+// Cold is unmarked: the same patterns pass without diagnostics.
+func Cold(n int) []any {
+	return append([]any{}, n, fmt.Sprint(n))
+}

@@ -1,0 +1,233 @@
+// Package linttest drives the ubslint analyzers the way production does:
+// it builds cmd/ubslint once per test process and runs it through
+// `go vet -vettool` over self-contained fixture modules, comparing the
+// emitted diagnostics against analysistest-style `// want "regexp"`
+// comments in the fixture sources.
+//
+// Fixtures live in testdata/<name>/ as real modules (own go.mod, stdlib
+// imports only), so the go command does all package loading and the test
+// exercises the exact vet-tool protocol CI uses. Because the analyzers
+// match package roles by path suffix (lintutil.PkgPathHasSuffix), a
+// fixture reproduces the repository layout under its own module path.
+package linttest
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// Binary builds cmd/ubslint (cached per test process) and returns its
+// path.
+func Binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "ubslint-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "ubslint")
+		cmd := exec.Command("go", "build", "-o", bin, "ubscache/cmd/ubslint")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building ubslint: %v\n%s", err, out)
+			return
+		}
+		buildBin = bin
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// moduleRoot returns the directory of the enclosing ubscache module.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// Run vets the fixture module at dir with only the named analyzer
+// enabled and asserts its diagnostics exactly match the fixture's
+// `// want "regexp"` comments (position and message).
+func Run(t *testing.T, analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := Binary(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-"+analyzer, "./...")
+	cmd.Dir = abs
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, runErr := cmd.CombinedOutput()
+	// A non-zero exit is expected whenever diagnostics fire; real
+	// breakage (compile errors, protocol failures) surfaces as a
+	// diagnostic/want mismatch below, with the raw output attached.
+	_ = runErr
+
+	got := parseDiagnostics(string(out))
+	want := parseWants(t, abs)
+	compare(t, got, want, string(out))
+}
+
+// RunClean vets an entire module with the full suite and asserts zero
+// diagnostics. It is the suite's self-application check.
+func RunClean(t *testing.T, dir string) {
+	t.Helper()
+	bin := Binary(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil || len(parseDiagnostics(string(out))) > 0 {
+		t.Fatalf("ubslint is not clean over %s (err=%v):\n%s", dir, err, out)
+	}
+}
+
+type key struct {
+	file string // slash-separated, relative to the fixture root
+	line int
+}
+
+var diagRE = regexp.MustCompile(`^(.+?\.go):(\d+):\d+: (.*)$`)
+
+// parseDiagnostics extracts file:line:col diagnostics from go vet output,
+// ignoring the `# package` headers.
+func parseDiagnostics(out string) map[key][]string {
+	got := map[key][]string{}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		line = strings.TrimPrefix(line, "vet: ")
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[2])
+		k := key{file: filepath.ToSlash(m[1]), line: n}
+		got[k] = append(got[k], m[3])
+	}
+	return got
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants scans the fixture tree for `// want "regexp"` comments
+// (several per line allowed) and returns them keyed by position.
+func parseWants(t *testing.T, root string) map[key][]*regexp.Regexp {
+	t.Helper()
+	want := map[key][]*regexp.Regexp{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := key{file: filepath.ToSlash(rel), line: i + 1}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				text, err := strconv.Unquote(q)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %s: %v", rel, i+1, q, err)
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", rel, i+1, text, err)
+				}
+				want[k] = append(want[k], re)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// compare matches diagnostics against wants one-to-one per position.
+func compare(t *testing.T, got map[key][]string, want map[key][]*regexp.Regexp, raw string) {
+	t.Helper()
+	keys := map[key]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	ordered := make([]key, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].file != ordered[j].file {
+			return ordered[i].file < ordered[j].file
+		}
+		return ordered[i].line < ordered[j].line
+	})
+
+	failed := false
+	for _, k := range ordered {
+		msgs, res := got[k], want[k]
+		used := make([]bool, len(msgs))
+		for _, re := range res {
+			matched := false
+			for i, msg := range msgs {
+				if !used[i] && re.MatchString(msg) {
+					used[i], matched = true, true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", k.file, k.line, re, msgs)
+				failed = true
+			}
+		}
+		for i, msg := range msgs {
+			if !used[i] {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		t.Logf("full go vet output:\n%s", raw)
+	}
+}

@@ -1,0 +1,11 @@
+package misspath_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestMissPath(t *testing.T) {
+	linttest.Run(t, "misspath", "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module misspath.example
+
+go 1.22

@@ -1,0 +1,30 @@
+// Package core reproduces the violation the retired string-scanning
+// TestMissPathSingleCallSite used to guard against: a consumer
+// re-implementing the MSHR miss-path sequence instead of composing
+// mem.FetchEngine.
+package core
+
+import "misspath.example/internal/mem"
+
+// fetchDirect hand-rolls the lookup/full/stall/fetch/insert walk.
+func fetchDirect(h *mem.Hierarchy, m *mem.MSHR, block, now uint64) (uint64, bool) {
+	if done, ok := m.Lookup(block, now); ok {
+		return done, true
+	}
+	if m.Full(now) {
+		m.RecordFullStall() // want `outside the miss path`
+		return 0, false
+	}
+	done, ok := h.FetchBlock(block, now) // want `outside the miss path`
+	if !ok {
+		return 0, false
+	}
+	m.Insert(block, done) // want `outside the miss path`
+	return done, true
+}
+
+// issueDirect drives the fetch engine without going through
+// icache.Engine.
+func issueDirect(e *mem.FetchEngine, block, now uint64) {
+	e.Issue(block, now) // want `outside the miss path`
+}

@@ -1,0 +1,29 @@
+// Package icache mirrors the real internal/icache: Engine is the blessed
+// frontend composition point for the fetch engine; anything else in the
+// package must stay off the miss path.
+package icache
+
+import "misspath.example/internal/mem"
+
+// Engine layers frontend accounting over the shared fetch engine.
+type Engine struct {
+	eng    *mem.FetchEngine
+	misses uint64
+}
+
+// Miss runs the demand miss path: legal, Engine is the composition
+// point.
+func (e *Engine) Miss(block, now uint64) (uint64, bool) {
+	done, ok := e.eng.Issue(block, now)
+	if ok {
+		e.misses++
+	}
+	return done, ok
+}
+
+// rogue drives the fetch engine from a non-Engine function in the same
+// package: the accounting in Engine.Miss is skipped, so this is a
+// violation even inside internal/icache.
+func rogue(e *mem.FetchEngine, block, now uint64) {
+	e.Issue(block, now) // want `outside the miss path`
+}

@@ -1,0 +1,65 @@
+// Package mem mirrors the real internal/mem surface the misspath
+// analyzer guards: the shared hierarchy, the MSHR file, and the fetch
+// engine that owns the miss-path sequence. Everything in this package is
+// a legal caller.
+package mem
+
+// Hierarchy stands in for the shared L2/L3/DRAM walk.
+type Hierarchy struct{ lat uint64 }
+
+// FetchBlock services an L1 miss.
+func (h *Hierarchy) FetchBlock(block, now uint64) (uint64, bool) {
+	return now + h.lat, true
+}
+
+// MSHR is a miss status holding register file.
+type MSHR struct {
+	live      int
+	cap       int
+	FullStall uint64
+}
+
+// Lookup merges into an outstanding miss.
+func (m *MSHR) Lookup(block, now uint64) (uint64, bool) { return 0, false }
+
+// Full reports capacity exhaustion.
+func (m *MSHR) Full(now uint64) bool { return m.live >= m.cap }
+
+// RecordFullStall counts an aborted demand allocation.
+func (m *MSHR) RecordFullStall() { m.FullStall++ }
+
+// Insert allocates an entry.
+func (m *MSHR) Insert(block, done uint64) { m.live++ }
+
+// FetchEngine owns the canonical miss path; its own body is the one
+// blessed call site of the full sequence.
+type FetchEngine struct {
+	mshr *MSHR
+	h    *Hierarchy
+}
+
+// Issue runs the miss path.
+func (e *FetchEngine) Issue(block, now uint64) (uint64, bool) {
+	if _, ok := e.mshr.Lookup(block, now); ok {
+		return 0, true
+	}
+	if e.mshr.Full(now) {
+		e.mshr.RecordFullStall()
+		return 0, false
+	}
+	done, ok := e.h.FetchBlock(block, now)
+	if !ok {
+		return 0, false
+	}
+	e.mshr.Insert(block, done)
+	return done, true
+}
+
+// DataCache is the L1-D: composing the engine inside package mem is
+// legal.
+type DataCache struct{ eng *FetchEngine }
+
+// Load issues a demand load through the engine.
+func (d *DataCache) Load(block, now uint64) (uint64, bool) {
+	return d.eng.Issue(block, now)
+}

@@ -1,0 +1,212 @@
+// Package statsexhaustive guards the warmup-subtraction contract of the
+// simulator's Stats structs at compile time, replacing the reflection
+// fill/check test that previously lived in internal/sim.
+//
+// For every struct type named "Stats" that has a Delta method (the
+// warmup-subtraction hook called by package sim), each field that carries
+// numeric state must
+//
+//   - be exported — the internal/obs reflection bridge walks exported
+//     fields only, so an unexported counter silently vanishes from every
+//     snapshot, heartbeat, and results.json rollup; and
+//   - be subtracted in the Delta body: a `s.F -= before.F` (directly or
+//     element-wise through an index expression inside a range loop), or a
+//     recursive `s.F.Delta(...)` for nested stats structs.
+//
+// A field left out of Delta keeps its end-of-run value with warmup
+// included, which is exactly the silent-accounting corruption the paper's
+// methodology (and Bueno et al.'s representativeness work) warns about.
+package statsexhaustive
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the statsexhaustive rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "statsexhaustive",
+	Doc:  "every numeric field of a Stats struct must be exported and subtracted by its Delta method",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Collect the package's Stats struct declarations and Delta methods.
+	type statsDecl struct {
+		spec   *ast.TypeSpec
+		fields *ast.StructType
+	}
+	decls := map[string]statsDecl{} // keyed by type name (always "Stats" today, keep general)
+	deltas := map[string]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != "Stats" {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						decls[ts.Name.Name] = statsDecl{spec: ts, fields: st}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name != "Delta" || d.Recv == nil || len(d.Recv.List) == 0 {
+					continue
+				}
+				if name := recvName(d.Recv.List[0].Type); name != "" {
+					deltas[name] = d
+				}
+			}
+		}
+	}
+
+	for name, decl := range decls {
+		delta, ok := deltas[name]
+		if !ok {
+			continue // reset-style stats without warmup subtraction are out of scope
+		}
+		covered := coveredFields(delta)
+		for _, field := range decl.fields.Fields.List {
+			ft := pass.TypesInfo.TypeOf(field.Type)
+			if ft == nil || !numericBearing(ft, 0) {
+				continue
+			}
+			for _, fname := range fieldNames(field) {
+				if !ast.IsExported(fname.Name) {
+					pass.Reportf(fname.Pos(),
+						"%s.%s is unexported: the obs reflection bridge walks exported fields only, so this counter never reaches snapshots or results.json",
+						name, fname.Name)
+					continue
+				}
+				if !covered[fname.Name] {
+					pass.Reportf(fname.Pos(),
+						"%s.%s is not subtracted in Delta: warmup counts would leak into measured stats (add `s.%s -= before.%s` or an element-wise loop)",
+						name, fname.Name, fname.Name, fname.Name)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// fieldNames returns the declared names of a struct field, treating an
+// embedded field's type name as its field name.
+func fieldNames(field *ast.Field) []*ast.Ident {
+	if len(field.Names) > 0 {
+		return field.Names
+	}
+	// Embedded field: the name is the (possibly pointer-stripped) type name.
+	t := field.Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return []*ast.Ident{t}
+	case *ast.SelectorExpr:
+		return []*ast.Ident{t.Sel}
+	}
+	return nil
+}
+
+// recvName returns the bare receiver type name.
+func recvName(t ast.Expr) string {
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// numericBearing reports whether t carries numeric state the obs bridge
+// would sample: a numeric basic type, or an array/slice/struct that
+// (transitively, by value) contains one. Pointers and interfaces stop the
+// walk: value-typed Stats structs do not chase them.
+func numericBearing(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsNumeric != 0
+	case *types.Array:
+		return numericBearing(u.Elem(), depth+1)
+	case *types.Slice:
+		return numericBearing(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if numericBearing(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coveredFields scans a Delta body for the fields it subtracts. A field F
+// counts as covered when the body contains
+//
+//	recv.F -= ...            (also through index expressions: recv.F[i] -= ...)
+//	recv.F.Delta(...)        (nested stats delegate)
+func coveredFields(delta *ast.FuncDecl) map[string]bool {
+	covered := map[string]bool{}
+	recv := ""
+	if names := delta.Recv.List[0].Names; len(names) > 0 {
+		recv = names[0].Name
+	}
+	if recv == "" || delta.Body == nil {
+		return covered
+	}
+	ast.Inspect(delta.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if f := baseField(lhs, recv); f != "" {
+					covered[f] = true
+				}
+			}
+		case *ast.CallExpr:
+			// recv.F.Delta(...)
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Delta" {
+				return true
+			}
+			if f := baseField(sel.X, recv); f != "" {
+				covered[f] = true
+			}
+		}
+		return true
+	})
+	return covered
+}
+
+// baseField unwraps index expressions and returns the field name of a
+// `recv.F`-rooted expression, or "".
+func baseField(e ast.Expr, recv string) string {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == recv {
+				return x.Sel.Name
+			}
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

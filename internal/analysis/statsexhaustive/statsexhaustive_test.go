@@ -1,0 +1,11 @@
+package statsexhaustive_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestStatsExhaustive(t *testing.T) {
+	linttest.Run(t, "statsexhaustive", "testdata/mod")
+}

@@ -1,0 +1,35 @@
+// Package a exercises the statsexhaustive violations: counters invisible
+// to the obs reflection bridge and counters missing from Delta.
+package a
+
+// Nested is a sub-stats struct delegating through its own Delta.
+type Nested struct{ N uint64 }
+
+// Delta subtracts field by field.
+func (n Nested) Delta(before Nested) Nested {
+	n.N -= before.N
+	return n
+}
+
+// Stats accumulates counters; the warmup-subtraction path depends on
+// Delta covering every one of them.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	ByKind  [3]uint64
+	Sub     Nested
+	Label   string // non-numeric: exempt from both rules
+	hidden  uint64 // want `unexported`
+	Dropped uint64 // want `not subtracted in Delta`
+}
+
+// Delta forgets Dropped and cannot see hidden.
+func (s Stats) Delta(before Stats) Stats {
+	s.Hits -= before.Hits
+	s.Misses -= before.Misses
+	for i := range s.ByKind {
+		s.ByKind[i] -= before.ByKind[i]
+	}
+	s.Sub = s.Sub.Delta(before.Sub)
+	return s
+}

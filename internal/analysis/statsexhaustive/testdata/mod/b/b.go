@@ -1,0 +1,19 @@
+// Package b is the clean pass: a fully-covered Stats.
+package b
+
+// Stats is fully covered by its Delta.
+type Stats struct {
+	Fetches uint64
+	Stalls  [2]uint64
+	Rate    float64
+}
+
+// Delta subtracts every numeric field.
+func (s Stats) Delta(before Stats) Stats {
+	s.Fetches -= before.Fetches
+	for i := range s.Stalls {
+		s.Stalls[i] -= before.Stalls[i]
+	}
+	s.Rate -= before.Rate
+	return s
+}

@@ -1,0 +1,12 @@
+// Package c holds a reset-style Stats: no Delta method, so the analyzer
+// leaves it alone (warmup handling clears it instead of subtracting).
+package c
+
+// Stats is cleared at warmup end rather than delta'd.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+}
+
+// Reset clears the counters.
+func (s *Stats) Reset() { *s = Stats{} }

@@ -1,0 +1,3 @@
+module statsexhaustive.example
+
+go 1.22

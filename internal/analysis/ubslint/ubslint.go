@@ -1,0 +1,29 @@
+// Package ubslint assembles the repository's invariant analyzers — the
+// go/analysis suite that compiles the simulator's methodological
+// assumptions (single miss path, exhaustive stat accounting, trace
+// determinism, allocation-free hot loops, consistent atomicity) into
+// rules checked on every build. cmd/ubslint wires the suite into
+// `go vet -vettool` and CI; the suite self-applies cleanly to this tree
+// (see TestSuiteSelfApplication).
+package ubslint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"ubscache/internal/analysis/atomicfield"
+	"ubscache/internal/analysis/determinism"
+	"ubscache/internal/analysis/hotpathalloc"
+	"ubscache/internal/analysis/misspath"
+	"ubscache/internal/analysis/statsexhaustive"
+)
+
+// Analyzers returns the full ubslint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		determinism.Analyzer,
+		hotpathalloc.Analyzer,
+		misspath.Analyzer,
+		statsexhaustive.Analyzer,
+	}
+}

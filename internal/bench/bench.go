@@ -31,7 +31,10 @@ type Case struct {
 	Name string
 	// InstrsPerOp converts ns/op to ns/simulated-instruction when nonzero.
 	InstrsPerOp uint64
-	Bench       func(b *testing.B)
+	// AllocFree declares the steady-state contract TestHotPathAllocGate
+	// enforces: the measured loop must report 0 allocs/op.
+	AllocFree bool
+	Bench     func(b *testing.B)
 }
 
 // simInstrs is the measured-instruction count of the end-to-end case.
@@ -43,13 +46,13 @@ const obsInstrs = 10_000
 // Cases returns the suite in a stable order.
 func Cases() []Case {
 	return []Case{
-		{Name: "MSHR", Bench: benchMSHR},
-		{Name: "FetchBlock", Bench: benchFetchBlock},
-		{Name: "EngineFetch", Bench: benchEngineFetch},
-		{Name: "DataCacheLoad", Bench: benchDataCacheLoad},
-		{Name: "UBSFetch", Bench: benchUBSFetch},
+		{Name: "MSHR", AllocFree: true, Bench: benchMSHR},
+		{Name: "FetchBlock", AllocFree: true, Bench: benchFetchBlock},
+		{Name: "EngineFetch", AllocFree: true, Bench: benchEngineFetch},
+		{Name: "DataCacheLoad", AllocFree: true, Bench: benchDataCacheLoad},
+		{Name: "UBSFetch", AllocFree: true, Bench: benchUBSFetch},
 		{Name: "SimInstr", InstrsPerOp: simInstrs, Bench: benchSimInstr},
-		{Name: "NilObserver", InstrsPerOp: obsInstrs, Bench: benchNilObserver},
+		{Name: "NilObserver", InstrsPerOp: obsInstrs, AllocFree: true, Bench: benchNilObserver},
 	}
 }
 
@@ -95,7 +98,7 @@ func benchFetchBlock(b *testing.B) {
 // protocol at steady state: Begin on every access, Hit on the ~3/4 the
 // modelled array would serve, Miss (MSHR check + hierarchy walk + insert)
 // on the rest. Like NilObserver, the steady state must stay at 0
-// allocs/op; CI gates on this case.
+// allocs/op; TestHotPathAllocGate enforces it.
 func benchEngineFetch(b *testing.B) {
 	h := mem.MustNewHierarchy(mem.DefaultHierarchyConfig())
 	e := icache.NewEngine(8, 4, h)
@@ -177,7 +180,7 @@ func benchSimInstr(b *testing.B) {
 
 // benchNilObserver pins the observability subsystem's zero-cost contract:
 // with no observer attached and sampling off, the steady-state Advance
-// loop must report 0 allocs/op. CI gates on this case (`-benchtime 1x`).
+// loop must report 0 allocs/op. TestHotPathAllocGate enforces it.
 func benchNilObserver(b *testing.B) {
 	wcfg, err := workload.Preset(workload.FamilyServer, 0)
 	if err != nil {

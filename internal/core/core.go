@@ -264,17 +264,22 @@ func (c *Core) decodeLen() int { return len(c.decode) - c.decodeHead }
 // pushDecode enqueues d. When the buffer runs out of spare capacity it
 // compacts the live window to the front instead of growing, so the
 // steady-state fetch/dispatch cycle never reallocates.
+//
+//ubs:hotpath
 func (c *Core) pushDecode(d decodeItem) {
 	if c.decodeHead > 0 && len(c.decode) == cap(c.decode) {
 		n := copy(c.decode, c.decode[c.decodeHead:])
 		c.decode = c.decode[:n]
 		c.decodeHead = 0
 	}
+	//ubs:allowalloc compact-in-place above keeps this push within capacity at steady state
 	c.decode = append(c.decode, d)
 }
 
 // popDecode drops the queue head, rewinding to the start of the backing
 // array whenever the queue drains.
+//
+//ubs:hotpath
 func (c *Core) popDecode() {
 	c.decodeHead++
 	if c.decodeHead == len(c.decode) {

@@ -25,9 +25,9 @@ func (s MissStatus) Stalled() bool { return s != MissIssued }
 // the instruction-cache frontends (through icache.Engine) and the L1-D —
 // composes one engine instead of hand-rolling the
 // Lookup/Full/RecordFullStall/FetchBlock/Insert sequence, so timing fixes
-// to the miss path land in exactly one place. A repo-wide source test
-// (TestMissPathSingleCallSite) pins that this file stays the only
-// non-test call site of that sequence.
+// to the miss path land in exactly one place. The misspath analyzer
+// (internal/analysis/misspath, run by vet) pins that this package stays
+// the only non-test call site of that sequence.
 type FetchEngine struct {
 	mshr *MSHR
 	h    *Hierarchy
@@ -51,12 +51,16 @@ func (e *FetchEngine) File() *MSHR { return e.mshr }
 
 // Pending reports an outstanding miss for block at cycle now, merging the
 // request into it (the caller's access completes when the miss does).
+//
+//ubs:hotpath
 func (e *FetchEngine) Pending(block, now uint64) (done uint64, pending bool) {
 	return e.mshr.Lookup(block, now)
 }
 
 // Peek is Pending without the merge accounting: probe phases use it to
 // test for an outstanding miss without committing to the merge.
+//
+//ubs:hotpath
 func (e *FetchEngine) Peek(block, now uint64) (done uint64, pending bool) {
 	return e.mshr.Peek(block, now)
 }
@@ -69,6 +73,8 @@ func (e *FetchEngine) Peek(block, now uint64) (done uint64, pending bool) {
 // downstream backpressure aborts with MissStallDownstream (the level that
 // forced the abort has already recorded its own stall). The caller must
 // have resolved merges via Pending first.
+//
+//ubs:hotpath
 func (e *FetchEngine) Issue(block, now uint64, ctx cache.AccessContext, demand bool) (done uint64, st MissStatus) {
 	if e.mshr.Full(now) {
 		if demand {

@@ -1,75 +1,17 @@
 package mem
 
 import (
-	"os"
-	"path/filepath"
-	"strings"
 	"testing"
 
 	"ubscache/internal/cache"
 )
 
-// missPathMarkers are the five calls that make up the MSHR miss-path
-// sequence. A file using the full sequence (as opposed to individual MSHR
-// queries) re-implements the miss path.
-var missPathMarkers = [...]string{
-	".Lookup(", ".Full(", ".RecordFullStall(", ".FetchBlock(", ".Insert(",
-}
-
-// TestMissPathSingleCallSite enforces the refactor's structural guarantee
-// mechanically: the MSHR-lookup -> full-stall -> hierarchy-fetch ->
-// MSHR-insert sequence exists at exactly one non-test call site in the
-// repository — the fetch engine. A second file containing all five marker
-// substrings means someone re-implemented the miss path instead of
-// composing FetchEngine; fold the new code into the engine (or extend its
-// protocol) instead.
-func TestMissPathSingleCallSite(t *testing.T) {
-	root, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var offenders []string
-	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name == ".git" || name == "testdata" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		text := string(src)
-		all := true
-		for _, m := range missPathMarkers {
-			if !strings.Contains(text, m) {
-				all = false
-				break
-			}
-		}
-		if all {
-			rel, _ := filepath.Rel(root, path)
-			offenders = append(offenders, filepath.ToSlash(rel))
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []string{"internal/mem/fetchengine.go"}
-	if len(offenders) != 1 || offenders[0] != want[0] {
-		t.Fatalf("miss-path sequence call sites = %v, want exactly %v;\n"+
-			"compose mem.FetchEngine (or icache.Engine) instead of re-implementing the miss path",
-			offenders, want)
-	}
-}
+// The structural guarantee that the MSHR-lookup -> full-stall ->
+// hierarchy-fetch -> MSHR-insert sequence lives only in the fetch engine
+// is enforced by the misspath analyzer (internal/analysis/misspath), which
+// vet runs over every build; its fixture's internal/core package
+// reproduces the re-implemented miss path this package's old
+// string-scanning test existed to catch.
 
 // TestFetchEngineProtocol covers the engine's three Issue outcomes and the
 // pending-lookup path directly, without a frontend on top.

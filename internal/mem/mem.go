@@ -63,6 +63,8 @@ func (m *MSHR) InFlight(now uint64) int {
 }
 
 // expire drops entries whose miss has completed (done <= now).
+//
+//ubs:hotpath
 func (m *MSHR) expire(now uint64) {
 	for len(m.heap) > 0 && m.heap[0].done <= now {
 		n := len(m.heap) - 1
@@ -72,6 +74,7 @@ func (m *MSHR) expire(now uint64) {
 	}
 }
 
+//ubs:hotpath
 func (m *MSHR) siftDown(i int) {
 	n := len(m.heap)
 	for {
@@ -90,6 +93,7 @@ func (m *MSHR) siftDown(i int) {
 	}
 }
 
+//ubs:hotpath
 func (m *MSHR) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
@@ -102,6 +106,8 @@ func (m *MSHR) siftUp(i int) {
 }
 
 // find returns the index of the live entry for block, or -1.
+//
+//ubs:hotpath
 func (m *MSHR) find(block uint64) int {
 	for i := range m.heap {
 		if m.heap[i].block == block {
@@ -113,6 +119,8 @@ func (m *MSHR) find(block uint64) int {
 
 // Lookup returns the completion time of an outstanding miss for block, if
 // any. A successful lookup is a merge.
+//
+//ubs:hotpath
 func (m *MSHR) Lookup(block, now uint64) (done uint64, ok bool) {
 	m.expire(now)
 	if i := m.find(block); i >= 0 {
@@ -124,6 +132,8 @@ func (m *MSHR) Lookup(block, now uint64) (done uint64, ok bool) {
 
 // Peek is Lookup without the merge accounting: probe phases use it to test
 // for an outstanding miss without committing to the merge.
+//
+//ubs:hotpath
 func (m *MSHR) Peek(block, now uint64) (done uint64, ok bool) {
 	m.expire(now)
 	if i := m.find(block); i >= 0 {
@@ -135,6 +145,8 @@ func (m *MSHR) Peek(block, now uint64) (done uint64, ok bool) {
 // Full reports whether a new allocation would exceed capacity at cycle
 // now. It is a pure capacity query; callers that abort because of it must
 // record the stall with RecordFullStall.
+//
+//ubs:hotpath
 func (m *MSHR) Full(now uint64) bool {
 	m.expire(now)
 	return len(m.heap) >= m.cap
@@ -144,14 +156,19 @@ func (m *MSHR) Full(now uint64) bool {
 // when — and only when — a full MSHR actually forces them to abort and
 // retry, so FullStall equals the retry count rather than the number of
 // speculative capacity probes.
+//
+//ubs:hotpath
 func (m *MSHR) RecordFullStall() { m.FullStall++ }
 
 // Insert allocates an entry; the caller must have checked Full. Each block
 // may have at most one live entry (callers merge via Lookup first).
+//
+//ubs:hotpath
 func (m *MSHR) Insert(block, done uint64) {
 	if len(m.heap) >= m.cap {
 		panic("mem: MSHR overflow (caller did not check Full)")
 	}
+	//ubs:allowalloc push into the cap-sized backing array NewMSHR preallocated
 	m.heap = append(m.heap, mshrEntry{done: done, block: block})
 	m.siftUp(len(m.heap) - 1)
 	m.Allocs++
@@ -218,6 +235,8 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 }
 
 // Access issues a block read at cycle now and returns its completion time.
+//
+//ubs:hotpath
 func (d *DRAM) Access(addr, now uint64) uint64 {
 	d.Accesses++
 	var bank int
@@ -331,6 +350,8 @@ func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // to before the call — its retry next cycle does not double-count L2/L3
 // accesses or misses — except for the one FullStall recorded on the MSHR
 // that forced the abort.
+//
+//ubs:hotpath
 func (h *Hierarchy) FetchBlock(addr, now uint64, ctx cache.AccessContext) (complete uint64, ok bool) {
 	block := h.L2.Cache.BlockAddr(addr)
 
@@ -425,6 +446,8 @@ func NewDataCache(cfg DataCacheConfig, h *Hierarchy) (*DataCache, error) {
 
 // Load issues a load at cycle now; it returns the data-ready cycle, or
 // ok=false when the access must retry (L1-D or downstream MSHRs full).
+//
+//ubs:hotpath
 func (d *DataCache) Load(addr, now uint64, ctx cache.AccessContext) (complete uint64, ok bool) {
 	if d.C.Access(addr, 1, ctx) {
 		return now + d.Lat, true
@@ -445,6 +468,8 @@ func (d *DataCache) Load(addr, now uint64, ctx cache.AccessContext) (complete ui
 // Store issues a store at cycle now. Stores retire without stalling the
 // pipeline (the store queue hides their latency); misses write-allocate.
 // ok=false reports MSHR backpressure.
+//
+//ubs:hotpath
 func (d *DataCache) Store(addr, now uint64, ctx cache.AccessContext) (ok bool) {
 	if d.C.Access(addr, 1, ctx) {
 		d.C.SetDirty(addr)

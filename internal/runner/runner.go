@@ -68,6 +68,7 @@ func (sw *Sweep) Run() (*Outcome, error) {
 // ResultsPath (marked "interrupted") so partial progress survives; the
 // returned Outcome carries those runs alongside ctx's error.
 func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
+	//ubs:wallclock sweep duration metadata in results.json
 	start := time.Now()
 	store := sw.Store
 	if store == nil {
@@ -147,6 +148,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 	out := &Outcome{}
 	rf := ResultsFile{Schema: 1, Spec: sw.Spec, Workers: workers}
 	for _, pl := range plans {
+		//ubs:wallclock render duration metadata in results.json
 		t0 := time.Now()
 		text, err := pl.e.Run(r)
 		if err != nil {

@@ -129,6 +129,7 @@ func (s *Store) compute(ctx context.Context, key string, p sim.Params, wcfg work
 	if res, sec, ok := s.loadDisk(key); ok {
 		return res, RunMeta{Seconds: sec, Disk: true}, nil
 	}
+	//ubs:wallclock RunMeta.Seconds cache metadata, not a simulated quantity
 	t0 := time.Now()
 	res, err := s.simulate(ctx, p, wcfg, design, factory)
 	if err != nil {
