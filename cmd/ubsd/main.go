@@ -1,0 +1,107 @@
+// Command ubsd is the simulation-as-a-service daemon: a long-lived,
+// multi-tenant server that accepts simulation jobs over an HTTP JSON API,
+// executes them on a bounded worker pool backed by the runner's
+// content-hashed memoizing store (identical specs dedupe to one
+// execution; a -cache directory survives restarts), and streams per-job
+// progress as server-sent events.
+//
+//	ubsd -addr :8337 -cache /var/cache/ubsd
+//
+//	# submit a job
+//	curl -s -X POST localhost:8337/jobs \
+//	  -d '{"design":"ubs","workload":"server_001","priority":"interactive"}'
+//	# tail its progress
+//	curl -N localhost:8337/jobs/job-000001/events
+//	# fetch the result / cancel
+//	curl -s localhost:8337/jobs/job-000001/result
+//	curl -s -X DELETE localhost:8337/jobs/job-000001
+//
+// Service behavior under load: each priority class ("interactive" >
+// "batch") has a bounded queue, and submissions beyond the bound are
+// rejected immediately with 429 + Retry-After instead of queueing without
+// limit. SIGTERM/SIGINT begin a graceful drain — /readyz flips to 503,
+// admission stops, queued and in-flight jobs finish (force-cancelled only
+// after -drain-timeout) — and the process exits 0. Service metrics (queue
+// depth, jobs in-flight, per-priority admission/rejection counters,
+// per-design latency histograms) are served at /metrics in the
+// Prometheus text format; /healthz and /readyz serve the probes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ubscache/internal/runner"
+	"ubscache/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8337", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		qInteractive = flag.Int("queue-interactive", 64, "interactive-class admission bound (queued jobs)")
+		qBatch       = flag.Int("queue-batch", 256, "batch-class admission bound (queued jobs)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on saturation rejections")
+		cacheDir     = flag.String("cache", "", "disk-resumable result cache directory (empty = memory only)")
+		hbEvery      = flag.Uint64("hb", 0, "per-job heartbeat period in cycles (0 = the sampling interval)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget before in-flight jobs are force-cancelled")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Store:            runner.NewStore(*cacheDir),
+		Workers:          *workers,
+		InteractiveBound: *qInteractive,
+		BatchBound:       *qBatch,
+		RetryAfter:       *retryAfter,
+		HeartbeatEvery:   *hbEvery,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ubsd: listening on http://%s\n", ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "ubsd: %s received; draining (readiness off, admission stopped)\n", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "ubsd: serve failed: %v\n", err)
+		srv.Close()
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ubsd: drain budget exceeded; in-flight jobs cancelled (%v)\n", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "ubsd: drained; all jobs terminal")
+	}
+	// The API stays up through the drain so clients can observe terminal
+	// states; shut it down once the pool is idle.
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	httpSrv.Shutdown(shutdownCtx)
+	fmt.Fprintln(os.Stderr, "ubsd: exit")
+	return 0
+}

@@ -1,8 +1,9 @@
 // Package determinism pins the reproduction's core methodological claim:
 // a trace-driven run is a pure function of (trace, design, params). Inside
 // the result-producing packages — internal/sim, internal/exp,
-// internal/runner, internal/obs — it forbids the three ways wall-clock or
-// scheduler state has historically leaked into published numbers:
+// internal/runner, internal/obs, internal/serve — it forbids the three
+// ways wall-clock or scheduler state has historically leaked into
+// published numbers:
 //
 //   - time.Now: simulation time is the cycle counter, never the host
 //     clock. Wall-clock duration metadata (results.json "seconds" fields,
@@ -41,7 +42,12 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scope lists the package roles whose outputs become published numbers.
-var scope = []string{"internal/sim", "internal/exp", "internal/runner", "internal/obs"}
+// internal/serve is a serving layer, not a result producer, but it sits
+// in scope deliberately: the simulation core it calls must stay under the
+// deterministic rule, so its own wall-clock reads (job timestamps,
+// latency metrics, retry hints) are each audited with //ubs:wallclock
+// rather than exempted wholesale.
+var scope = []string{"internal/sim", "internal/exp", "internal/runner", "internal/obs", "internal/serve"}
 
 // seededConstructors are the math/rand package-level functions that build
 // explicit sources and generators rather than touching the global one.

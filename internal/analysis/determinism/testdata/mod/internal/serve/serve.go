@@ -1,0 +1,54 @@
+// Package serve mirrors the repository's serving layer: inside the
+// determinism scope (path suffix internal/serve), but allowed wall-clock
+// time at audited sites — the daemon's job timestamps, latency
+// histograms, and retry hints are service metadata, never simulated
+// quantities. Each site carries //ubs:wallclock; an unmarked read is
+// still a violation.
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// SubmitStamp records a job's admission time, metadata only: the
+// function-level directive waives every read in the body.
+//
+//ubs:wallclock
+func SubmitStamp() time.Time {
+	return time.Now()
+}
+
+// JobLatency measures one job's wall-clock service time for the latency
+// histogram, waiving the single audited read on its own line.
+func JobLatency(run func()) float64 {
+	//ubs:wallclock per-design job latency histogram, service metadata only
+	t0 := time.Now()
+	run()
+	return time.Since(t0).Seconds()
+}
+
+// LeakClock shows the rule still bites in the serving layer: an unmarked
+// wall-clock read is a violation even though the package may use time.
+func LeakClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a result-producing package`
+}
+
+// PickWorker draws from the global RNG: never legal in scope — a
+// scheduler decision must be replayable, wall-clock waivers don't cover
+// randomness.
+func PickWorker(n int) int {
+	return rand.Intn(n) // want `global math/rand source`
+}
+
+// DumpJobs writes map entries in iteration order: the serving layer's
+// artifacts (job listings, metric exports) must stay byte-deterministic
+// too.
+func DumpJobs(jobs map[string]int) {
+	enc := json.NewEncoder(os.Stdout)
+	for id, state := range jobs { // want `range over map writes to an output stream`
+		enc.Encode([2]any{id, state})
+	}
+}

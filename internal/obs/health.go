@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health publishes process liveness and readiness over HTTP, following the
+// Kubernetes probe convention shared by `ubsim -http` and `ubsd`:
+//
+//	/healthz  liveness — 200 "ok" for as long as the process can serve
+//	/readyz   readiness — 200 "ok" while accepting work, 503 "draining"
+//	          once SetReady(false) has been called (e.g. during a
+//	          graceful drain), so load balancers stop routing new jobs
+//	          while in-flight work finishes.
+//
+// The zero value reports not-ready; NewHealth returns a ready instance.
+type Health struct {
+	ready atomic.Bool
+}
+
+// NewHealth returns a Health that starts ready.
+func NewHealth() *Health {
+	h := &Health{}
+	h.ready.Store(true)
+	return h
+}
+
+// SetReady flips the readiness state (false while draining).
+func (h *Health) SetReady(ok bool) { h.ready.Store(ok) }
+
+// Ready reports the current readiness state.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// Register mounts /healthz and /readyz on mux.
+func (h *Health) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", h.serveLive)
+	mux.HandleFunc("/readyz", h.serveReady)
+}
+
+func (h *Health) serveLive(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (h *Health) serveReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !h.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthEndpoints pins the probe contract shared by ubsim -http and
+// ubsd: /healthz answers 200 as long as the process serves, /readyz
+// flips to 503 the moment a drain begins and back if readiness returns.
+func TestHealthEndpoints(t *testing.T) {
+	h := NewHealth()
+	mux := http.NewServeMux()
+	h.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 before drain", code)
+	}
+	if !h.Ready() {
+		t.Fatal("Ready() = false on a fresh Health")
+	}
+
+	h.SetReady(false)
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d during drain, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d during drain, want 200 (liveness is not readiness)", code)
+	}
+
+	h.SetReady(true)
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d after readiness restored, want 200", code)
+	}
+}
+
+// TestServerHealthShared pins that the obs HTTP server exposes the same
+// Health instance it mounts, so a daemon embedding the server can flip
+// readiness through the accessor.
+func TestServerHealthShared(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.Health().SetReady(false)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d after SetReady(false) via accessor, want 503", resp.StatusCode)
+	}
+}

@@ -16,25 +16,38 @@ import (
 //
 //	/metrics     Prometheus text exposition format
 //	/vars        expvar-style JSON: run info, last heartbeat, metric map
-//	/healthz     "ok"
+//	/healthz     liveness probe (see Health)
+//	/readyz      readiness probe (see Health)
 type Server struct {
 	// Namespace prefixes Prometheus metric names (default "ubsim").
 	Namespace string
 
-	mu    sync.Mutex
-	info  RunInfo
-	reg   *Registry
-	last  Heartbeat
-	hasHB bool
-	snap  Snapshot
-	done  bool
-	err   error
+	mu     sync.Mutex
+	info   RunInfo
+	reg    *Registry
+	last   Heartbeat
+	hasHB  bool
+	snap   Snapshot
+	done   bool
+	err    error
+	health *Health
 }
 
 var _ Observer = (*Server)(nil)
 
 // NewServer returns a Server with the default namespace.
-func NewServer() *Server { return &Server{Namespace: "ubsim"} }
+func NewServer() *Server { return &Server{Namespace: "ubsim", health: NewHealth()} }
+
+// Health returns the server's probe state (created ready on first use),
+// the instance behind /healthz and /readyz.
+func (s *Server) Health() *Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.health == nil {
+		s.health = NewHealth()
+	}
+	return s.health
+}
 
 // BeginRun implements Observer.
 func (s *Server) BeginRun(info RunInfo, reg *Registry) {
@@ -75,14 +88,13 @@ func (s *Server) EndRun(final *Heartbeat, err error) {
 	s.snap, s.done, s.err = snap, true, err
 }
 
-// Handler returns the HTTP handler serving /metrics, /vars and /healthz.
+// Handler returns the HTTP handler serving /metrics, /vars, /healthz and
+// /readyz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/vars", s.serveVars)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	s.Health().Register(mux)
 	return mux
 }
 

@@ -4,8 +4,6 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -172,19 +170,4 @@ func WriteCSV(path string, records []RunRecord) error {
 		return err
 	}
 	return writeFileAtomic(path, []byte(b.String()))
-}
-
-// writeFileAtomic writes via a temp file + rename so interrupted sweeps
-// never leave half-written artifacts.
-func writeFileAtomic(path string, data []byte) error {
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }

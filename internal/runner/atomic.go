@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic publishes data at path so that no reader — and no
+// process started after a crash — can ever observe a partial file. The
+// bytes go to a uniquely named temp file in the same directory (rename is
+// only atomic within a filesystem), are fsynced so the rename cannot be
+// reordered ahead of the data reaching disk, and then replace path in a
+// single rename. A unique temp name per call keeps concurrent writers of
+// the same path from trampling each other's staging file: last rename
+// wins and every intermediate state is a complete file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// Any failure discards the staging file; path is left untouched.
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp creates 0600; published artifacts keep the historical
+	// world-readable mode.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

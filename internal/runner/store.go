@@ -54,6 +54,9 @@ type Store struct {
 	Dir string
 	// Sim runs one simulation; nil means sim.Run (tests inject stubs).
 	Sim func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
+	// SimContext, when non-nil, takes precedence over Sim and receives
+	// the caller's context (tests inject blocking, cancellable stubs).
+	SimContext func(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
 
 	mu       sync.Mutex
 	results  map[string]sim.Result
@@ -82,16 +85,25 @@ func (s *Store) Run(p sim.Params, wcfg workload.Config, design string, factory s
 // between heartbeat intervals (see sim.RunContext) and its error is not
 // memoized, so a resumed sweep retries the point.
 func (s *Store) RunContext(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
+	res, _, err := s.RunContextShared(ctx, p, wcfg, design, factory)
+	return res, err
+}
+
+// RunContextShared is RunContext that additionally reports whether the
+// result was shared — served from the memo, a disk-cache entry, or
+// another caller's in-flight execution — rather than computed on behalf
+// of this call. The serving layer uses it to mark deduplicated jobs.
+func (s *Store) RunContextShared(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, bool, error) {
 	key := Key(p, wcfg, design)
 	s.mu.Lock()
 	if res, ok := s.results[key]; ok {
 		s.mu.Unlock()
-		return res, nil
+		return res, true, nil
 	}
 	if f, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		<-f.done
-		return f.res, f.err
+		return f.res, f.err == nil, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
@@ -107,7 +119,7 @@ func (s *Store) RunContext(ctx context.Context, p sim.Params, wcfg workload.Conf
 	delete(s.inflight, key)
 	s.mu.Unlock()
 	close(f.done)
-	return res, err
+	return res, meta.Disk, err
 }
 
 // Result returns the memoized result for key, if present.
@@ -148,6 +160,9 @@ func (s *Store) simulate(ctx context.Context, p sim.Params, wcfg workload.Config
 			err = fmt.Errorf("runner: %s on %s panicked: %v", design, wcfg.Name, r)
 		}
 	}()
+	if s.SimContext != nil {
+		return s.SimContext(ctx, p, wcfg, design, factory)
+	}
 	if s.Sim != nil {
 		return s.Sim(p, wcfg, design, factory)
 	}
@@ -183,12 +198,11 @@ func (s *Store) loadDisk(key string) (sim.Result, float64, bool) {
 }
 
 // saveDisk persists best-effort: a full disk must not fail the sweep, the
-// result is still held in memory.
+// result is still held in memory. writeFileAtomic (unique temp file in
+// the cache directory, fsync, rename) guarantees a killed process can
+// never leave a truncated cache entry behind.
 func (s *Store) saveDisk(key string, res sim.Result, seconds float64) {
 	if s.Dir == "" {
-		return
-	}
-	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
 		return
 	}
 	data, err := json.Marshal(diskRecord{
@@ -198,10 +212,5 @@ func (s *Store) saveDisk(key string, res sim.Result, seconds float64) {
 	if err != nil {
 		return
 	}
-	// Write-then-rename keeps entries atomic under interruption.
-	tmp := s.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return
-	}
-	os.Rename(tmp, s.path(key))
+	writeFileAtomic(s.path(key), data)
 }

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, SubmitResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	data, _ := io.ReadAll(resp.Body)
+	json.Unmarshal(data, &sr)
+	return resp, sr
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitHTTPState(t *testing.T, ts *httptest.Server, id string, want JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, ts.URL+"/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d", id, code)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s terminal in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return JobStatus{}
+}
+
+// TestHTTPSubmitLifecycle drives the full API round trip: submit, poll
+// status, read byte-identical results for a deduplicated pair, and check
+// the Prometheus endpoint reflects the work.
+func TestHTTPSubmitLifecycle(t *testing.T) {
+	var calls atomic.Int64
+	s := New(testConfig(stubStore(&calls, nil), 2))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"design":"conv:32","workload":"server_001","priority":"interactive"}`
+	resp, sr := postJob(t, ts, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	if sr.ID == "" || sr.Key == "" || sr.Priority != Interactive {
+		t.Fatalf("bad submit response %+v", sr)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+sr.ID {
+		t.Errorf("Location = %q", loc)
+	}
+	waitHTTPState(t, ts, sr.ID, JobDone)
+
+	// Duplicate spec over HTTP: same key, byte-identical result payloads.
+	_, sr2 := postJob(t, ts, body)
+	if sr2.Key != sr.Key {
+		t.Fatalf("duplicate spec got key %s, want %s", sr2.Key, sr.Key)
+	}
+	waitHTTPState(t, ts, sr2.ID, JobDone)
+	read := func(id string) []byte {
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET result = %d", resp.StatusCode)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		return data
+	}
+	if a, b := read(sr.ID), read(sr2.ID); !bytes.Equal(a, b) {
+		t.Fatalf("result bytes differ:\n%s\nvs\n%s", a, b)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d executions for duplicate specs, want 1", got)
+	}
+
+	// The jobs listing shows both, and the metrics endpoint reports them.
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if code := getJSON(t, ts.URL+"/jobs", &list); code != http.StatusOK || len(list.Jobs) != 2 {
+		t.Fatalf("GET /jobs = %d with %d jobs, want 200 with 2", code, len(list.Jobs))
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"ubsd_jobs_done 2",
+		"ubsd_jobs_admitted_interactive 2",
+		"ubsd_jobs_inflight 0",
+		"ubsd_job_seconds_conv_32kb", // per-design latency histogram
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestHTTPSaturation429 is the admission-control contract over the wire:
+// 429 + Retry-After on a full queue, 503 + Retry-After while draining.
+func TestHTTPSaturation429(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	cfg := testConfig(stubStore(&calls, release), 1)
+	cfg.BatchBound = 1
+	cfg.RetryAfter = 2 * time.Second
+	s := New(cfg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Worker occupied + batch queue full.
+	_, blocker := postJob(t, ts, `{"design":"conv:32","workload":"server_001"}`)
+	waitHTTPState(t, ts, blocker.ID, JobRunning)
+	postJob(t, ts, `{"design":"conv:32","workload":"server_002"}`)
+
+	resp, _ := postJob(t, ts, `{"design":"conv:32","workload":"server_003"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-bound submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+
+	// Interactive still admits past a saturated batch queue.
+	iresp, _ := postJob(t, ts, `{"design":"conv:32","workload":"server_004","priority":"interactive"}`)
+	if iresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("interactive submit during batch saturation = %d, want 202", iresp.StatusCode)
+	}
+
+	// Start a drain: readyz flips and submissions turn into 503s.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp, err := http.Get(ts.URL + "/readyz"); err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusServiceUnavailable {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dresp, _ := postJob(t, ts, `{"design":"conv:32","workload":"server_005"}`)
+	if dresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", dresp.StatusCode)
+	}
+	if ra := dresp.Header.Get("Retry-After"); ra == "" {
+		t.Error("draining rejection carries no Retry-After")
+	}
+	<-drainDone
+
+	// Liveness stays up through the drain.
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestHTTPCancelAndSSE cancels a running job over the API and asserts
+// its SSE stream delivered a heartbeat and the terminal event.
+func TestHTTPCancelAndSSE(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	defer close(release)
+	s := New(testConfig(stubStore(&calls, release), 1))
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, sr := postJob(t, ts, `{"design":"conv:32","workload":"server_001"}`)
+	waitHTTPState(t, ts, sr.ID, JobRunning)
+
+	// Attach the SSE tail before cancelling.
+	sseResp, err := http.Get(ts.URL + "/jobs/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if ct := sseResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+sr.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	waitHTTPStateTerminal(t, ts, sr.ID, JobCancelled)
+
+	// The stream ends (log closed) and carries status + end events.
+	types := map[string]int{}
+	sc := bufio.NewScanner(sseResp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			types[strings.TrimPrefix(line, "event: ")]++
+		}
+	}
+	if types["end"] != 1 {
+		t.Errorf("SSE stream carried %d end events, want 1 (saw %v)", types["end"], types)
+	}
+	if types["status"] < 2 {
+		t.Errorf("SSE stream carried %d status events, want >=2 (queued, running, terminal)", types["status"])
+	}
+}
+
+func waitHTTPStateTerminal(t *testing.T, ts *httptest.Server, id string, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		getJSON(t, ts.URL+"/jobs/"+id, &st)
+		if st.State == want {
+			return
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s terminal in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}

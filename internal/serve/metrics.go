@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+
+	"ubscache/internal/obs"
+)
+
+// jobSecondsBounds are the per-design job-latency histogram buckets, in
+// seconds: sub-10ms cached hits through multi-minute full runs.
+var jobSecondsBounds = []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// metrics is the service-level instrumentation, layered on the obs
+// registry so the daemon exposes the exact same Prometheus surface as a
+// single run:
+//
+//	queue_depth_{interactive,batch}     gauges
+//	jobs_inflight                       gauge
+//	jobs_admitted_{interactive,batch}   counters
+//	jobs_rejected_{interactive,batch}   counters
+//	jobs_{done,failed,cancelled}        counters
+//	jobs_deduped                        counter (results served by the store)
+//	job_seconds_<design>                per-design latency histograms
+type metrics struct {
+	reg       *obs.Registry
+	inflight  *obs.Gauge
+	queue     map[Priority]*obs.Gauge
+	admitted  map[Priority]*obs.Counter
+	rejected  map[Priority]*obs.Counter
+	done      *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	deduped   *obs.Counter
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:      reg,
+		inflight: reg.Gauge("jobs_inflight"),
+		queue: map[Priority]*obs.Gauge{
+			Interactive: reg.Gauge("queue_depth_interactive"),
+			Batch:       reg.Gauge("queue_depth_batch"),
+		},
+		admitted: map[Priority]*obs.Counter{
+			Interactive: reg.Counter("jobs_admitted_interactive"),
+			Batch:       reg.Counter("jobs_admitted_batch"),
+		},
+		rejected: map[Priority]*obs.Counter{
+			Interactive: reg.Counter("jobs_rejected_interactive"),
+			Batch:       reg.Counter("jobs_rejected_batch"),
+		},
+		done:      reg.Counter("jobs_done"),
+		failed:    reg.Counter("jobs_failed"),
+		cancelled: reg.Counter("jobs_cancelled"),
+		deduped:   reg.Counter("jobs_deduped"),
+	}
+	return m
+}
+
+// jobSeconds returns the latency histogram for a design, created on
+// first use (the obs registry deduplicates by name).
+func (m *metrics) jobSeconds(design string) *obs.Histogram {
+	return m.reg.Histogram("job_seconds_"+metricName(design), jobSecondsBounds)
+}
+
+// finished counts one terminal transition.
+func (m *metrics) finished(state JobState) {
+	switch state {
+	case JobDone:
+		m.done.Inc()
+	case JobFailed:
+		m.failed.Inc()
+	case JobCancelled:
+		m.cancelled.Inc()
+	}
+}
+
+// serveProm renders the service registry in the Prometheus text format
+// under the given namespace.
+func (m *metrics) serveProm(ns string) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, m.reg.Snapshot(), ns)
+	}
+}
+
+// metricName maps an arbitrary design name onto the Prometheus metric
+// alphabet ([a-z0-9_]).
+func metricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

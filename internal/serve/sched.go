@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"ubscache/internal/runner"
+	"ubscache/internal/sim"
+)
+
+// sched is the admission controller and bounded worker pool. Two FIFO
+// queues — one per priority class, each with its own admission bound —
+// feed the workers; a worker always drains the interactive queue before
+// touching the batch queue. Saturation is rejected at submission time
+// (SaturatedError) so the service's queueing delay stays bounded, and a
+// drain stops admission while letting the queues empty.
+type sched struct {
+	store      *runner.Store
+	metrics    *metrics
+	workers    int
+	bounds     map[Priority]int
+	retryAfter time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[Priority][]*Job
+	reserved map[Priority]int
+	inflight int
+	draining bool
+	wg       sync.WaitGroup
+}
+
+func newSched(store *runner.Store, m *metrics, workers int, bounds map[Priority]int, retryAfter time.Duration) *sched {
+	s := &sched{
+		store: store, metrics: m, workers: workers,
+		bounds: bounds, retryAfter: retryAfter,
+		queues:   map[Priority][]*Job{Interactive: nil, Batch: nil},
+		reserved: map[Priority]int{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// start launches the worker pool.
+func (s *sched) start() {
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j := s.next()
+				if j == nil {
+					return
+				}
+				s.run(j)
+			}
+		}()
+	}
+}
+
+// reserve performs the admission decision for one submission: it fails
+// fast when draining or when the class queue (including other
+// reservations racing in) is at its bound, and otherwise holds a slot
+// until the matching enqueue.
+func (s *sched) reserve(p Priority) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	bound := s.bounds[p]
+	if depth := len(s.queues[p]) + s.reserved[p]; depth >= bound {
+		s.metrics.rejected[p].Inc()
+		return &SaturatedError{Priority: p, Bound: bound, RetryAfter: s.retryAfter}
+	}
+	s.reserved[p]++
+	return nil
+}
+
+// unreserve releases a reservation whose job was never enqueued.
+func (s *sched) unreserve(p Priority) {
+	s.mu.Lock()
+	s.reserved[p]--
+	s.mu.Unlock()
+}
+
+// enqueue converts a reservation into a queued job and wakes a worker.
+func (s *sched) enqueue(j *Job) {
+	s.mu.Lock()
+	s.reserved[j.priority]--
+	s.queues[j.priority] = append(s.queues[j.priority], j)
+	s.metrics.admitted[j.priority].Inc()
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// remove deletes a queued job (cancellation while queued); false means
+// the job was no longer queued.
+func (s *sched) remove(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[j.priority]
+	for i, qj := range q {
+		if qj == j {
+			s.queues[j.priority] = append(q[:i], q[i+1:]...)
+			s.updateGaugesLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// next blocks for the next runnable job, interactive before batch; nil
+// means the pool is draining and both queues are empty.
+func (s *sched) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for _, p := range []Priority{Interactive, Batch} {
+			if q := s.queues[p]; len(q) > 0 {
+				j := q[0]
+				s.queues[p] = q[1:]
+				s.updateGaugesLocked()
+				return j
+			}
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// drain stops admission and lets the workers exit once the queues empty.
+func (s *sched) drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// wait blocks until every worker has exited.
+func (s *sched) wait() { s.wg.Wait() }
+
+func (s *sched) updateGaugesLocked() {
+	s.metrics.queue[Interactive].Set(float64(len(s.queues[Interactive])))
+	s.metrics.queue[Batch].Set(float64(len(s.queues[Batch])))
+}
+
+// inflightAdd tracks the jobs-in-flight gauge without a read-modify-
+// write race: the count lives behind the scheduler lock.
+func (s *sched) inflightAdd(d int) {
+	s.mu.Lock()
+	s.inflight += d
+	s.metrics.inflight.Set(float64(s.inflight))
+	s.mu.Unlock()
+}
+
+// outcome is one finished store call; shared marks a result served from
+// the memo, the disk cache, or another job's in-flight execution.
+type outcome struct {
+	res    sim.Result
+	shared bool
+	err    error
+}
+
+// run executes one job through the memoizing store. Identical specs
+// share one execution (singleflight) and cached results return
+// immediately; in both cases the job still receives a final heartbeat so
+// every SSE stream carries at least one heartbeat and a terminal event.
+//
+//ubs:wallclock per-design job latency histograms, service metadata only
+func (s *sched) run(j *Job) {
+	if !j.begin() {
+		return // cancelled while queued
+	}
+	s.inflightAdd(1)
+	defer s.inflightAdd(-1)
+
+	t0 := time.Now()
+
+	params := j.params
+	params.Observer = &jobObserver{j: j}
+
+	// The store call runs in its own goroutine so a cancellation fires
+	// promptly even while this job is blocked behind another job's
+	// in-flight execution of the same key (the singleflight wait does not
+	// observe contexts).
+	ch := make(chan outcome, 1)
+	go func() {
+		res, shared, err := s.store.RunContextShared(j.ctx, params, j.wcfg, j.design.Name, j.design.Factory)
+		ch <- outcome{res: res, shared: shared, err: err}
+	}()
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-j.ctx.Done():
+		o = outcome{err: j.ctx.Err()}
+	}
+
+	switch {
+	case o.err == nil:
+		fromCache := o.shared
+		if fromCache {
+			s.metrics.deduped.Inc()
+		}
+		res := o.res
+		if j.beatCount() == 0 {
+			// Deduped or cached: no live run fed this job's stream.
+			j.heartbeat(syntheticFinal(j, &res))
+		}
+		if j.finish(JobDone, &res, fromCache, nil) {
+			s.metrics.finished(JobDone)
+			s.metrics.jobSeconds(j.design.Name).Observe(time.Since(t0).Seconds())
+		}
+	case errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded):
+		if j.finish(JobCancelled, nil, false, o.err) {
+			s.metrics.finished(JobCancelled)
+		}
+	default:
+		if j.finish(JobFailed, nil, false, o.err) {
+			s.metrics.finished(JobFailed)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Event is one entry of a job's progress stream: a type tag ("status",
+// "heartbeat", "end") and its JSON payload.
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// eventLog is an append-only, replayable event sequence with blocking
+// subscription: a subscriber always receives every event from the start
+// of the job, no matter how late it attaches, and unblocks when the log
+// closes (the job reached a terminal state).
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append publishes one event and wakes all subscribers.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// close marks the stream complete and wakes all subscribers.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// next blocks until events beyond index from are available (or the log
+// closes, or ctx is done) and returns the new slice of events plus
+// whether more may follow. A (nil, false) return means the stream is
+// finished or the subscriber's context expired.
+func (l *eventLog) next(ctx context.Context, from int) ([]Event, bool) {
+	// Wake the cond wait when the subscriber disappears.
+	stop := context.AfterFunc(ctx, l.cond.Broadcast)
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		if len(l.events) > from {
+			out := l.events[from:len(l.events):len(l.events)]
+			return out, true
+		}
+		if l.closed {
+			return nil, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// snapshot returns the events so far and whether the log is closed.
+func (l *eventLog) snapshot() ([]Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events[:len(l.events):len(l.events)], l.closed
+}
+
+// serveSSE streams a job's event log as server-sent events until the log
+// closes or the client goes away. Every event is rendered as
+//
+//	event: <type>
+//	data: <payload JSON>
+//
+// and flushed immediately, so `curl -N` tails the run live.
+func serveSSE(w http.ResponseWriter, r *http.Request, log *eventLog) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	idx := 0
+	for {
+		evs, more := log.next(ctx, idx)
+		for _, e := range evs {
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, e.Data); err != nil {
+				return
+			}
+		}
+		flusher.Flush()
+		idx += len(evs)
+		if !more {
+			return
+		}
+	}
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the ubsd daemon: start it, submit a tiny job
+# over HTTP, poll it to completion, check the Prometheus endpoint reports
+# the work, then verify a graceful SIGTERM drain exits 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+log=$(mktemp)
+cache=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$log" "$cache"' EXIT
+
+go build -o /tmp/ubsd ./cmd/ubsd
+/tmp/ubsd -addr 127.0.0.1:0 -cache "$cache" 2>"$log" &
+pid=$!
+
+# The daemon prints its bound address to stderr; wait for it.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^ubsd: listening on http://##p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" || { echo "ubsd died on startup:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ubsd never reported its address"; cat "$log"; exit 1; }
+base="http://$addr"
+echo "ubsd up at $base"
+
+curl -fsS "$base/healthz" >/dev/null
+[ "$(curl -fsS -o /dev/null -w '%{http_code}' "$base/readyz")" = 200 ]
+
+# Submit a tiny interactive job and poll it to completion.
+id=$(curl -fsS -X POST "$base/jobs" \
+    -d '{"design":"conv:32","workload":"client_001","warmup":20000,"measure":50000,"priority":"interactive"}' \
+    | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "submit returned no job id"; exit 1; }
+echo "submitted $id"
+
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -fsS "$base/jobs/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "job ended $state"; exit 1 ;;
+    esac
+    sleep 0.1
+done
+[ "$state" = done ] || { echo "job stuck in '$state'"; exit 1; }
+echo "job done"
+
+# The result endpoint serves the report and /metrics reflects the work.
+curl -fsS "$base/jobs/$id/result" | grep -q '"Instructions"'
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^ubsd_jobs_done 1$'
+echo "$metrics" | grep -q '^ubsd_jobs_admitted_interactive 1$'
+echo "$metrics" | grep -q '^ubsd_job_seconds_conv_32kb_count 1$'
+echo "metrics report the job"
+
+# Graceful drain: submit a longer job, SIGTERM mid-flight, expect
+# readiness to flip while the job finishes and the process to exit 0.
+long=$(curl -fsS -X POST "$base/jobs" \
+    -d '{"design":"ubs","workload":"server_001","warmup":100000,"measure":2000000}' \
+    | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$long" ] || { echo "second submit returned no job id"; exit 1; }
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz" || true)
+    [ "$code" = 503 ] && break
+    sleep 0.05
+done
+[ "$code" = 503 ] || { echo "/readyz never flipped during drain (got '$code')"; exit 1; }
+echo "readiness flipped; waiting for drain"
+
+rc=0
+wait "$pid" || rc=$?
+[ "$rc" -eq 0 ] || { echo "ubsd exited $rc after SIGTERM"; cat "$log"; exit 1; }
+grep -q 'drained; all jobs terminal' "$log" || { echo "drain did not complete cleanly"; cat "$log"; exit 1; }
+echo "ubsd drained and exited 0"

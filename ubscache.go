@@ -29,6 +29,8 @@ import (
 	"ubscache/internal/icache"
 	"ubscache/internal/mem"
 	"ubscache/internal/obs"
+	"ubscache/internal/runner"
+	"ubscache/internal/serve"
 	"ubscache/internal/sim"
 	"ubscache/internal/trace"
 	"ubscache/internal/ubs"
@@ -301,3 +303,27 @@ func RunExperiment(id string, eo ExperimentOptions) (string, error) {
 func RunExperimentArgs(id string, opts Options, perFamily int, progress io.Writer) (string, error) {
 	return RunExperiment(id, ExperimentOptions{Options: opts, PerFamily: perFamily, Progress: progress})
 }
+
+// JobServer is the embeddable simulation-as-a-service core behind the
+// ubsd daemon: a bounded worker pool with per-priority admission control
+// over a memoizing ResultStore, per-job SSE progress streams, and a
+// graceful drain. Mount JobServer.Handler on any HTTP server.
+type JobServer = serve.Server
+
+// JobServerConfig configures NewJobServer; the zero value (plus a Store)
+// uses the ubsd defaults.
+type JobServerConfig = serve.Config
+
+// ResultStore memoizes simulation results by content key, deduplicating
+// identical specs to a single execution (singleflight) and optionally
+// persisting results to a crash-safe on-disk cache.
+type ResultStore = runner.Store
+
+// NewResultStore builds a ResultStore; dir == "" keeps results in memory
+// only, otherwise results persist under dir and survive restarts.
+func NewResultStore(dir string) *ResultStore { return runner.NewStore(dir) }
+
+// NewJobServer starts a job server (the worker pool runs immediately).
+// Stop it with Drain for a graceful shutdown or Close to cancel
+// everything in flight.
+func NewJobServer(cfg JobServerConfig) *JobServer { return serve.New(cfg) }

@@ -1,11 +1,14 @@
 package ubscache
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ubscache/internal/icache"
+	"ubscache/internal/serve"
 	"ubscache/internal/sim"
 )
 
@@ -180,4 +183,60 @@ func TestExperimentFacade(t *testing.T) {
 	if _, err := RunExperiment("nope", ExperimentOptions{Options: quickTest(), PerFamily: 1}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
+}
+
+// TestJobServerFacade runs a real (tiny) simulation job through the
+// facade's job server: submit, wait for the terminal state, read the
+// report, and confirm a duplicate submission is served from the cache.
+func TestJobServerFacade(t *testing.T) {
+	srv := NewJobServer(JobServerConfig{
+		Store:   NewResultStore(""),
+		Workers: 2,
+		Params:  quickTest(),
+	})
+	defer srv.Close()
+
+	req := serve.SubmitRequest{Design: "conv:32", Workload: "server_001", Priority: serve.Interactive}
+	sub, err := srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, sub)
+	if st.State != serve.JobDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	rep, raw, ok := sub.Result()
+	if !ok || rep.Core.Instructions == 0 || len(raw) == 0 {
+		t.Fatalf("no usable report: ok=%v %+v", ok, rep)
+	}
+
+	dup, err := srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Key() != sub.Key() {
+		t.Fatalf("duplicate submission key %s != %s", dup.Key(), sub.Key())
+	}
+	if st := waitTerminal(t, dup); st.State != serve.JobDone || !st.FromCache {
+		t.Fatalf("duplicate ended %s, from_cache=%v; want done from cache", st.State, st.FromCache)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func waitTerminal(t *testing.T, j *serve.Job) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := j.Status(); st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", j.ID())
+	return serve.JobStatus{}
 }
