@@ -4,6 +4,7 @@
 //	tracegen -list                                # all workload names
 //	tracegen -workload server_001 -n 5000000 -o server_001.ubst.gz
 //	tracegen -inspect server_001.ubst.gz          # summary statistics
+//	tracegen -inspect a.ubst b.ubst.gz            # extra files as args
 package main
 
 import (
@@ -35,16 +36,22 @@ func main() {
 			fmt.Println()
 		}
 	case *inspect != "":
-		r, err := trace.Open(*inspect)
-		if err != nil {
-			fatal(err)
+		// One BlockSet serves every file: the footprint map's storage is
+		// reset and reused per trace instead of rebuilt per invocation.
+		var blocks trace.BlockSet
+		for _, path := range append([]string{*inspect}, flag.Args()...) {
+			r, err := trace.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			st := trace.MeasureInto(r, ^uint64(0), &blocks)
+			if err := r.Err(); err != nil {
+				r.Close()
+				fatal(err)
+			}
+			r.Close()
+			printStats(path, st)
 		}
-		defer r.Close()
-		st := trace.Measure(r, ^uint64(0))
-		if err := r.Err(); err != nil {
-			fatal(err)
-		}
-		printStats(*inspect, st)
 	case *wl != "":
 		cfg, err := workload.ByName(*wl)
 		if err != nil {
@@ -56,7 +63,8 @@ func main() {
 		}
 		if *out == "" {
 			// Dry run: just measure.
-			st := trace.Measure(w, *n)
+			var blocks trace.BlockSet
+			st := trace.MeasureInto(w, *n, &blocks)
 			printStats(*wl, st)
 			return
 		}

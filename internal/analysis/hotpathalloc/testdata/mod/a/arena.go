@@ -1,0 +1,68 @@
+package a
+
+// Arena-helper shapes from the simulator's steady-state pools: compact-
+// in-place ring pushes, pre-sized heap inserts, and decimating windows.
+// The audited pushes into recycled backing arrays are waived; the same
+// push without a waiver — or a helper that conjures a fresh arena per
+// call — must still be flagged.
+
+// PushRing is the FTQ/decode-queue shape: when the backing array runs out
+// of spare capacity the live window [head:] is compacted to the front and
+// the vacated tail zeroed, so the waived push never grows at steady state.
+//
+//ubs:hotpath
+func PushRing(q []block, head int, b block) ([]block, int) {
+	if head > 0 && len(q) == cap(q) {
+		n := copy(q, q[head:])
+		clear(q[n:])
+		q = q[:n]
+		head = 0
+	}
+	//ubs:allowalloc compact-in-place above keeps this push within the pre-sized capacity
+	q = append(q, b)
+	return q, head
+}
+
+// PushRingUnaudited is the same push without the waiver: still a finding.
+//
+//ubs:hotpath
+func PushRingUnaudited(q []block, b block) []block {
+	return append(q, b) // want `append may grow`
+}
+
+// HeapAdd is the in-flight completion-heap shape: a sift-up insert into a
+// backing array pre-sized to the ROB at construction.
+//
+//ubs:hotpath
+func HeapAdd(h []uint64, done uint64) []uint64 {
+	//ubs:allowalloc heap backing is pre-sized to the ROB size at construction
+	h = append(h, done)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// Decimate is the bounded sample-window shape: halving in place reuses
+// the window's backing array and allocates nothing.
+//
+//ubs:hotpath
+func Decimate(w []float64) []float64 {
+	for i := 0; i < len(w)/2; i++ {
+		w[i] = w[2*i]
+	}
+	return w[:len(w)/2]
+}
+
+// FreshArena conjures a new arena per call instead of reusing a pool:
+// exactly what the hot path must not do.
+//
+//ubs:hotpath
+func FreshArena(n int) []block {
+	return make([]block, 0, n) // want `make allocates`
+}

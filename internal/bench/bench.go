@@ -51,7 +51,7 @@ func Cases() []Case {
 		{Name: "EngineFetch", AllocFree: true, Bench: benchEngineFetch},
 		{Name: "DataCacheLoad", AllocFree: true, Bench: benchDataCacheLoad},
 		{Name: "UBSFetch", AllocFree: true, Bench: benchUBSFetch},
-		{Name: "SimInstr", InstrsPerOp: simInstrs, Bench: benchSimInstr},
+		{Name: "SimInstr", InstrsPerOp: simInstrs, AllocFree: true, Bench: benchSimInstr},
 		{Name: "NilObserver", InstrsPerOp: obsInstrs, AllocFree: true, Bench: benchNilObserver},
 	}
 }
@@ -158,21 +158,41 @@ func benchUBSFetch(b *testing.B) {
 	}
 }
 
-// benchSimInstr runs the full modelled system (UBS frontend, L1-D, shared
-// hierarchy, OoO core) for simInstrs instructions per op.
+// benchSimInstr measures the full modelled system — UBS frontend, L1-D,
+// shared hierarchy, FDIP front end, OoO core, with efficiency sampling on
+// — at simInstrs instructions per op. The machine is constructed once and
+// warmed to steady state outside the timer, so the number is the marginal
+// cost of simulated instructions: exactly what billion-instruction sweeps
+// and ubsd jobs pay. The steady-state loop must report 0 allocs/op
+// (TestHotPathAllocGate): every pool — ROB, in-flight heap, decode FIFO,
+// FTQ, efficiency window — is pre-sized at construction.
 func benchSimInstr(b *testing.B) {
 	wcfg, err := workload.Preset(workload.FamilyServer, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
+	src, err := workload.New(wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	p := sim.DefaultParams()
 	p.Warmup = 0
-	p.Measure = simInstrs
-	factory := sim.UBSFactory(ubs.DefaultConfig())
+	m, err := sim.NewMachine(context.Background(), p, src, wcfg.Name, "ubs", sim.UBSFactory(ubs.DefaultConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Warmup(); err != nil {
+		b.Fatal(err)
+	}
+	// Reach steady state before measuring: cold-start fills grow the
+	// MSHR/cache side structures and the walker's call stack.
+	if err := m.Advance(200_000); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(p, wcfg, "ubs", factory); err != nil {
+		if err := m.Advance(simInstrs); err != nil {
 			b.Fatal(err)
 		}
 	}

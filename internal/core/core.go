@@ -132,6 +132,90 @@ type decodeItem struct {
 	readyAt uint64
 }
 
+// inflightEntry is one dispatched-but-incomplete instruction in the
+// completion heap: its completion cycle plus the queue resources it holds.
+type inflightEntry struct {
+	done    uint64
+	isLoad  bool
+	isStore bool
+}
+
+// inflight maintains the scheduler/LQ/SQ occupancy incrementally: counters
+// rise at dispatch and fall when the clock passes each instruction's
+// completion cycle. A fixed-capacity min-heap on completion time (capacity
+// ROBSize, sized at construction — the same shape as the memory system's
+// MSHR file) orders the expiries, replacing the per-cycle O(ROB) occupancy
+// scan the dispatch stage previously performed. The counters are, by
+// construction, exactly |{e in ROB : e.done > now}| split by class: entries
+// enter at dispatch (done is always > now then) and commit only removes
+// entries whose completion already expired here.
+type inflight struct {
+	heap   []inflightEntry
+	sched  int
+	loads  int
+	stores int
+}
+
+// add registers a dispatched instruction completing at done.
+//
+//ubs:hotpath
+func (f *inflight) add(done uint64, isLoad, isStore bool) {
+	f.sched++
+	if isLoad {
+		f.loads++
+	}
+	if isStore {
+		f.stores++
+	}
+	//ubs:allowalloc the heap's backing array is pre-sized to ROBSize at construction
+	f.heap = append(f.heap, inflightEntry{done: done, isLoad: isLoad, isStore: isStore})
+	i := len(f.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if f.heap[p].done <= f.heap[i].done {
+			break
+		}
+		f.heap[p], f.heap[i] = f.heap[i], f.heap[p]
+		i = p
+	}
+}
+
+// expire releases every instruction whose completion cycle has been
+// reached. Amortised O(1) per cycle: each dispatched instruction is popped
+// exactly once.
+//
+//ubs:hotpath
+func (f *inflight) expire(now uint64) {
+	for len(f.heap) > 0 && f.heap[0].done <= now {
+		e := f.heap[0]
+		f.sched--
+		if e.isLoad {
+			f.loads--
+		}
+		if e.isStore {
+			f.stores--
+		}
+		n := len(f.heap) - 1
+		f.heap[0] = f.heap[n]
+		f.heap = f.heap[:n]
+		i := 0
+		for {
+			l, r, s := 2*i+1, 2*i+2, i
+			if l < n && f.heap[l].done < f.heap[s].done {
+				s = l
+			}
+			if r < n && f.heap[r].done < f.heap[s].done {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			f.heap[i], f.heap[s] = f.heap[s], f.heap[i]
+			i = s
+		}
+	}
+}
+
 // Core wires the front end, the backend, and the memory system.
 type Core struct {
 	cfg Config
@@ -148,8 +232,10 @@ type Core struct {
 	// array reusable, so steady state performs no allocations.
 	decode     []decodeItem
 	decodeHead int
-	seq        uint64
-	doneRing   [512]uint64 // completion cycles by sequence number
+	// busy tracks scheduler/LQ/SQ occupancy incrementally (see inflight).
+	busy     inflight
+	seq      uint64
+	doneRing [512]uint64 // completion cycles by sequence number
 
 	// Front-end redirect state.
 	waitMispredict bool
@@ -173,6 +259,12 @@ func New(cfg Config, ftq *fdip.FTQ, ic icache.Frontend, dc *mem.DataCache) *Core
 	return &Core{
 		cfg: cfg, ftq: ftq, ic: ic, dc: dc,
 		rob: make([]robEntry, cfg.ROBSize),
+		// The decode FIFO's backing array covers its worst-case occupancy
+		// (fetch stops pushing at DecodeQueue, plus one in-flight fetch
+		// chunk), so pushDecode's compact-in-place keeps every steady-state
+		// push within this capacity — the queue never reallocates.
+		decode: make([]decodeItem, 0, cfg.DecodeQueue+cfg.FetchWidth),
+		busy:   inflight{heap: make([]inflightEntry, 0, cfg.ROBSize)},
 	}
 }
 
@@ -187,8 +279,11 @@ func (c *Core) ResetStats() { c.stats = Stats{} }
 func (c *Core) Clock() uint64 { return c.clock }
 
 // Cycle advances the model by one clock.
+//
+//ubs:hotpath
 func (c *Core) Cycle() {
 	now := c.clock
+	c.busy.expire(now)
 	c.commit(now)
 	c.dispatch(now)
 	c.fetch(now)
@@ -227,6 +322,8 @@ func (c *Core) RunUntil(instructions, cycleCeil uint64) bool {
 }
 
 // commit retires completed instructions in order.
+//
+//ubs:hotpath
 func (c *Core) commit(now uint64) {
 	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
 		e := &c.rob[c.robHead]
@@ -237,25 +334,6 @@ func (c *Core) commit(now uint64) {
 		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
 		c.robCount--
 	}
-}
-
-// schedBusy counts in-flight (dispatched, incomplete) instructions.
-func (c *Core) schedBusy(now uint64) (sched, loads, stores int) {
-	i := c.robHead
-	for n := 0; n < c.robCount; n++ {
-		e := &c.rob[i]
-		if e.done > now {
-			sched++
-			if e.isLoad {
-				loads++
-			}
-			if e.isStore {
-				stores++
-			}
-		}
-		i = (i + 1) % c.cfg.ROBSize
-	}
-	return sched, loads, stores
 }
 
 // decodeLen returns the decode-queue occupancy.
@@ -289,23 +367,26 @@ func (c *Core) popDecode() {
 }
 
 // dispatch moves instructions from the decode queue into the ROB,
-// computing their completion times.
+// computing their completion times. Scheduler/LQ/SQ occupancy comes from
+// the incrementally maintained counters in c.busy (expired at the top of
+// Cycle), not from scanning the ROB.
+//
+//ubs:hotpath
 func (c *Core) dispatch(now uint64) {
 	if c.decodeLen() == 0 {
 		return
 	}
-	sched, loads, stores := c.schedBusy(now)
 	width := c.cfg.DecodeWidth
 	for width > 0 && c.decodeLen() > 0 && c.robCount < c.cfg.ROBSize {
 		d := &c.decode[c.decodeHead]
-		if d.readyAt > now || sched >= c.cfg.SchedSize {
+		if d.readyAt > now || c.busy.sched >= c.cfg.SchedSize {
 			return
 		}
 		in := &d.item.In
-		if in.Class == trace.ClassLoad && loads >= c.cfg.LQSize {
+		if in.Class == trace.ClassLoad && c.busy.loads >= c.cfg.LQSize {
 			return
 		}
-		if in.Class == trace.ClassStore && stores >= c.cfg.SQSize {
+		if in.Class == trace.ClassStore && c.busy.stores >= c.cfg.SQSize {
 			return
 		}
 		// Operand readiness from producer distances.
@@ -336,14 +417,12 @@ func (c *Core) dispatch(now uint64) {
 				done = ready + 5
 			}
 			c.stats.Loads++
-			loads++
 		case trace.ClassStore:
 			if c.dc != nil && !c.dc.Store(in.MemAddr, ready, ctx) {
 				return
 			}
 			done = ready + 1
 			c.stats.Stores++
-			stores++
 		default:
 			done = ready + 1
 			if in.Class.IsBranch() {
@@ -364,7 +443,7 @@ func (c *Core) dispatch(now uint64) {
 		c.doneRing[c.seq%uint64(len(c.doneRing))] = done
 		c.seq++
 		c.robCount++
-		sched++
+		c.busy.add(done, e.isLoad, e.isStore)
 		if d.item.Mispredict {
 			// The redirect reaches fetch when the branch executes.
 			c.redirectAt = done + c.cfg.RedirectLat
@@ -388,6 +467,8 @@ func (c *Core) resolveRedirect(now uint64) {
 // A chunk is a run of consecutive instructions limited by fetch width,
 // fetch bytes, a 64B block boundary, and the first taken branch — exactly
 // the fetch-range interface of §IV-A.
+//
+//ubs:hotpath
 func (c *Core) fetch(now uint64) {
 	if c.fetchBlocked > now {
 		c.stall(c.blockReason)
@@ -490,6 +571,8 @@ func (c *Core) fetch(now uint64) {
 // probe stays within one block per the frontend contract). The combined
 // result hits only if every piece hits; otherwise the first non-hit piece
 // governs the stall.
+//
+//ubs:hotpath
 func (c *Core) fetchRange(start uint64, bytes int, now uint64) icache.Result {
 	end := start + uint64(bytes)
 	for addr := start; addr < end; {
@@ -507,6 +590,7 @@ func (c *Core) fetchRange(start uint64, bytes int, now uint64) icache.Result {
 	return icache.Result{Kind: icache.Hit}
 }
 
+//ubs:hotpath
 func (c *Core) stall(r StallReason) {
 	c.stats.Stalls[r]++
 }
@@ -515,6 +599,31 @@ func (c *Core) stall(r StallReason) {
 func (c *Core) Validate() error {
 	if c.robCount < 0 || c.robCount > c.cfg.ROBSize {
 		return fmt.Errorf("core: ROB count %d out of range", c.robCount)
+	}
+	if c.busy.sched != len(c.busy.heap) {
+		return fmt.Errorf("core: inflight count %d disagrees with heap size %d",
+			c.busy.sched, len(c.busy.heap))
+	}
+	if cap(c.busy.heap) != c.cfg.ROBSize {
+		return fmt.Errorf("core: inflight heap capacity %d, want ROB size %d",
+			cap(c.busy.heap), c.cfg.ROBSize)
+	}
+	loads, stores := 0, 0
+	for i := range c.busy.heap {
+		if c.busy.heap[i].isLoad {
+			loads++
+		}
+		if c.busy.heap[i].isStore {
+			stores++
+		}
+	}
+	if loads != c.busy.loads || stores != c.busy.stores {
+		return fmt.Errorf("core: inflight load/store counters %d/%d disagree with heap %d/%d",
+			c.busy.loads, c.busy.stores, loads, stores)
+	}
+	if c.busy.sched > c.robCount {
+		return fmt.Errorf("core: %d in-flight instructions exceed ROB occupancy %d",
+			c.busy.sched, c.robCount)
 	}
 	return nil
 }

@@ -86,7 +86,11 @@ func New(cfg Config, src trace.Source, bp *bpu.BPU, ic icache.Frontend) *FTQ {
 	if cfg.Regions == 0 {
 		cfg = DefaultConfig()
 	}
-	return &FTQ{cfg: cfg, src: src, bp: bp, ic: ic}
+	// The backing array is sized for the worst case of live items
+	// (MaxInstrs) plus an equal dead prefix, so push's compact-in-place
+	// recycles it forever: the queue never reallocates after construction.
+	return &FTQ{cfg: cfg, src: src, bp: bp, ic: ic,
+		queue: make([]Item, 0, 2*cfg.MaxInstrs)}
 }
 
 // Stats returns the accumulated counters.
@@ -102,6 +106,8 @@ func (f *FTQ) SourceDone() bool { return f.sourceDone }
 func (f *FTQ) Len() int { return len(f.queue) - f.head }
 
 // Peek returns the i-th queued item without consuming it.
+//
+//ubs:hotpath
 func (f *FTQ) Peek(i int) *Item {
 	if f.head+i >= len(f.queue) {
 		return nil
@@ -110,6 +116,8 @@ func (f *FTQ) Peek(i int) *Item {
 }
 
 // Pop consumes n items from the head.
+//
+//ubs:hotpath
 func (f *FTQ) Pop(n int) {
 	if f.head+n > len(f.queue) {
 		panic("fdip: pop past queue end")
@@ -124,11 +132,30 @@ func (f *FTQ) Pop(n int) {
 	if f.prefCursor < f.consumedTot {
 		f.prefCursor = f.consumedTot
 	}
-	// Periodic compaction keeps the backing array bounded.
-	if f.head >= 4096 || f.head == len(f.queue) {
-		f.queue = append(f.queue[:0], f.queue[f.head:]...)
+	if f.head == len(f.queue) {
+		// Drained: rewind to the start of the backing array, zeroing the
+		// consumed items so they cannot linger or be resurrected.
+		clear(f.queue)
+		f.queue = f.queue[:0]
 		f.head = 0
 	}
+}
+
+// push enqueues one item. When the backing array runs out of spare
+// capacity it compacts the live window to the front — zeroing the vacated
+// tail so consumed items are never retained or resurrected — instead of
+// growing, so the steady-state fill cycle performs no allocations.
+//
+//ubs:hotpath
+func (f *FTQ) push(item Item) {
+	if f.head > 0 && len(f.queue) == cap(f.queue) {
+		live := copy(f.queue, f.queue[f.head:])
+		clear(f.queue[live:])
+		f.queue = f.queue[:live]
+		f.head = 0
+	}
+	//ubs:allowalloc compact-in-place above keeps this push within the pre-sized capacity
+	f.queue = append(f.queue, item)
 }
 
 // Resume restarts the runahead after the core resolved the mispredicted
@@ -138,6 +165,8 @@ func (f *FTQ) Resume() { f.blocked = false }
 // Fill runs the BPU ahead of fetch, enqueuing instructions and issuing
 // FDIP prefetches, until the FTQ is full, the runahead hits a mispredicted
 // branch, or the trace ends.
+//
+//ubs:hotpath
 func (f *FTQ) Fill(now uint64) {
 	if f.blocked {
 		f.stats.BlockedFills++
@@ -156,7 +185,7 @@ func (f *FTQ) Fill(now uint64) {
 			item.Mispredict = r.Mispredict
 			item.Resteer = r.Resteer
 		}
-		f.queue = append(f.queue, item)
+		f.push(item)
 		f.enqueuedTot++
 		f.stats.Enqueued++
 		if in.TakenBranch() {
@@ -172,6 +201,8 @@ func (f *FTQ) Fill(now uint64) {
 
 // issuePrefetches walks the FTQ in order, issuing FDIP prefetches for
 // queued instructions within PrefetchWindow of the fetch head.
+//
+//ubs:hotpath
 func (f *FTQ) issuePrefetches(now uint64) {
 	if !f.cfg.Prefetch {
 		return
@@ -197,6 +228,8 @@ func (f *FTQ) Regions() int { return f.regions }
 // 64B block boundaries. Every instruction's span is forwarded: frontends
 // deduplicate cheaply, and range-aware designs (UBS) accumulate the whole
 // predicted-path byte range per block.
+//
+//ubs:hotpath
 func (f *FTQ) prefetch(in *trace.Instr, now uint64) {
 	first := in.PC &^ 63
 	last := (in.EndPC() - 1) &^ 63

@@ -233,3 +233,99 @@ func TestPrefetchWindowZeroIsUnlimited(t *testing.T) {
 		t.Error("no drops recorded beyond the MSHR cap")
 	}
 }
+
+// mirrorCheck verifies the FTQ's live window matches want exactly and
+// that no consumed item survives in the backing array past the live
+// region — compaction must neither resurrect nor leak entries.
+func mirrorCheck(t *testing.T, f *FTQ, want []Item) {
+	t.Helper()
+	if f.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", f.Len(), len(want))
+	}
+	for i := range want {
+		it := f.Peek(i)
+		if it == nil || *it != want[i] {
+			t.Fatalf("Peek(%d) = %+v, want %+v", i, it, want[i])
+		}
+	}
+	if f.Peek(len(want)) != nil {
+		t.Fatalf("Peek past end resurrected an entry")
+	}
+	// Everything in the backing array beyond the live slice must be zero.
+	full := f.queue[:cap(f.queue)]
+	for i := len(f.queue); i < len(full); i++ {
+		if full[i] != (Item{}) {
+			t.Fatalf("backing slot %d retains dead item %+v (len=%d head=%d)",
+				i, full[i], len(f.queue), f.head)
+		}
+	}
+}
+
+// TestCompactionClearsTailAndPreservesOrder drives push/Pop through
+// several compaction and drain-rewind cycles against a mirror queue,
+// checking after every step that the live window is intact and that
+// consumed items are zeroed out of the backing array rather than left
+// live in its tail.
+func TestCompactionClearsTailAndPreservesOrder(t *testing.T) {
+	cfg := Config{Regions: 1 << 20, MaxInstrs: 8, Prefetch: false}
+	f := New(cfg, nil, nil, nil)
+	if cap(f.queue) != 2*cfg.MaxInstrs {
+		t.Fatalf("backing capacity %d, want pre-sized %d", cap(f.queue), 2*cfg.MaxInstrs)
+	}
+	backing := &f.queue[:1][0]
+
+	var mirror []Item
+	next := uint64(0x1000)
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			it := Item{In: trace.Instr{PC: next, Size: 4, Class: trace.ClassOther}}
+			next += 4
+			f.push(it)
+			mirror = append(mirror, it)
+		}
+	}
+	pop := func(n int) {
+		f.Pop(n)
+		mirror = mirror[n:]
+	}
+
+	push(10)
+	mirrorCheck(t, f, mirror)
+	pop(6) // head=6, live=4
+	mirrorCheck(t, f, mirror)
+	push(12) // len would hit cap(16) mid-way: compaction must fire
+	mirrorCheck(t, f, mirror)
+	pop(f.Len()) // full drain: rewind must zero the consumed prefix
+	mirrorCheck(t, f, mirror)
+	push(7)
+	pop(3)
+	push(9) // wander across another compaction
+	mirrorCheck(t, f, mirror)
+	if f.head != 0 && f.queue[0] != (Item{}) {
+		// Consumed prefix before the head must also have been zeroed by
+		// the last compaction or never reused; sanity only — the strict
+		// check is the tail scan in mirrorCheck.
+		t.Logf("head=%d len=%d", f.head, len(f.queue))
+	}
+	if &f.queue[:1][0] != backing {
+		t.Fatalf("backing array was reallocated; compaction must recycle it")
+	}
+}
+
+// TestPushSteadyStateAllocFree pins the FTQ's recycled backing array:
+// once constructed, continuous push/Pop churn across compactions
+// performs no allocations.
+func TestPushSteadyStateAllocFree(t *testing.T) {
+	cfg := Config{Regions: 1 << 20, MaxInstrs: 64, Prefetch: false}
+	f := New(cfg, nil, nil, nil)
+	it := Item{In: trace.Instr{PC: 0x1000, Size: 4, Class: trace.ClassOther}}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1000; i++ {
+			f.push(it)
+			f.Pop(1)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("push/Pop churn allocates %.1f allocs/run, want 0", allocs)
+	}
+}

@@ -17,6 +17,11 @@ type SmallBlock struct {
 	cfg    SmallBlockConfig
 	c      *cache.Cache
 	buffer *fillBuffer
+
+	// chunkScratch is the reusable backing array for chunks: fetch ranges
+	// stay within one 64B block (the frontend contract), so the per-fetch
+	// chunk list is tiny and pre-sized — the fetch path never allocates.
+	chunkScratch []uint64
 }
 
 var _ Frontend = (*SmallBlock)(nil)
@@ -96,7 +101,8 @@ func NewSmallBlock(cfg SmallBlockConfig, h *mem.Hierarchy) (*SmallBlock, error) 
 	return &SmallBlock{
 		Engine: NewEngine(cfg.MSHRs, cfg.Lat, h),
 		cfg:    cfg, c: c,
-		buffer: &fillBuffer{cap: cfg.BufferCap},
+		buffer:       &fillBuffer{cap: cfg.BufferCap},
+		chunkScratch: make([]uint64, 0, 64/cfg.BlockSize+1),
 	}, nil
 }
 
@@ -110,14 +116,20 @@ func (sb *SmallBlock) Efficiency() (float64, bool) { return sb.c.Efficiency() }
 func (sb *SmallBlock) Cache() *cache.Cache { return sb.c }
 
 // chunks returns the small-block addresses covering [addr, addr+size).
+// The returned slice aliases sb.chunkScratch and is valid until the next
+// call; the fetch path iterates it immediately and never holds it.
+//
+//ubs:hotpath
 func (sb *SmallBlock) chunks(addr uint64, size int) []uint64 {
 	bs := uint64(sb.cfg.BlockSize)
 	first := addr &^ (bs - 1)
 	last := (addr + uint64(size) - 1) &^ (bs - 1)
-	var out []uint64
+	out := sb.chunkScratch[:0]
 	for a := first; a <= last; a += bs {
+		//ubs:allowalloc scratch is pre-sized to the 64B-range worst case at construction
 		out = append(out, a)
 	}
+	sb.chunkScratch = out
 	return out
 }
 

@@ -116,6 +116,9 @@ type Result struct {
 	ICache   icache.Stats
 	BPU      bpu.Stats
 	// EffSamples are the periodic storage-efficiency samples (Figures 2/7).
+	// The window is bounded at effWindowCap samples: very long runs keep
+	// every 2^k-th sample (k grows as needed), preserving full-run coverage
+	// at a fixed memory footprint.
 	EffSamples []float64
 	// UBS carries the extended counters when the design is a UBS cache.
 	UBS *ubs.Stats
@@ -200,9 +203,19 @@ type Machine struct {
 	bpWarm bpu.Stats
 
 	effSamples []float64
+	effStride  uint64 // keep every effStride-th sample tick
+	effTick    uint64 // sample ticks taken so far
 	nextSample uint64
 	nextHB     uint64 // 0 disables the per-cycle heartbeat branch
 }
+
+// effWindowCap bounds the storage-efficiency sample window. The backing
+// array is allocated once at construction; when a run outgrows it, the
+// window decimates in place (keeping every other retained sample) and
+// doubles its sampling stride, so arbitrarily long runs — billion-
+// instruction sweeps, long-lived ubsd jobs — hold at most this many
+// samples while still spanning the whole measured region.
+const effWindowCap = 4096
 
 // NewMachine assembles the modelled system for one run. The observer (if
 // any) receives BeginRun before NewMachine returns.
@@ -231,6 +244,10 @@ func NewMachine(ctx context.Context, p Params, src trace.Source, workloadName, d
 		every:    heartbeatEvery(p),
 		workload: workloadName, design: design,
 		h: h, ic: ic, dc: dc, bp: bp, ftq: ftq, c: c,
+		effStride: 1,
+	}
+	if p.SampleInterval > 0 {
+		m.effSamples = make([]float64, 0, effWindowCap)
 	}
 	if p.Observer != nil {
 		m.st = newHBState(p.Observer, workloadName, design, c, ic, bp, dc, h)
@@ -293,6 +310,8 @@ func (m *Machine) Warmup() error {
 // Advance runs n more measured instructions, taking storage-efficiency
 // samples every SampleInterval cycles and emitting heartbeats (and
 // checking cancellation) every heartbeat interval.
+//
+//ubs:hotpath
 func (m *Machine) Advance(n uint64) error {
 	if err := m.Warmup(); err != nil {
 		return err
@@ -303,7 +322,7 @@ func (m *Machine) Advance(n uint64) error {
 		if m.p.SampleInterval > 0 {
 			if cyc := m.c.Stats().Cycles; cyc >= m.nextSample {
 				if eff, ok := m.ic.Efficiency(); ok {
-					m.effSamples = append(m.effSamples, eff)
+					m.recordEff(eff)
 				}
 				m.nextSample += m.p.SampleInterval
 			}
@@ -324,6 +343,34 @@ func (m *Machine) Advance(n uint64) error {
 		}
 	}
 	return nil
+}
+
+// recordEff adds one storage-efficiency sample to the bounded window.
+// Retained sample ticks are always exactly the multiples of effStride, so
+// the window stays evenly spaced over the whole run; the decimation is
+// deterministic (no RNG, no clock) and reuses the window's pre-sized
+// backing array, so sampling allocates nothing after construction.
+//
+//ubs:hotpath
+func (m *Machine) recordEff(eff float64) {
+	tick := m.effTick
+	m.effTick++
+	if tick%m.effStride != 0 {
+		return
+	}
+	if len(m.effSamples) == effWindowCap {
+		// Full: keep every other retained sample and double the stride.
+		for i := 0; i < effWindowCap/2; i++ {
+			m.effSamples[i] = m.effSamples[2*i]
+		}
+		m.effSamples = m.effSamples[:effWindowCap/2]
+		m.effStride *= 2
+		if tick%m.effStride != 0 {
+			return
+		}
+	}
+	//ubs:allowalloc the window's backing array is pre-sized to effWindowCap at construction
+	m.effSamples = append(m.effSamples, eff)
 }
 
 // traceEnded reports premature trace exhaustion through the observer.

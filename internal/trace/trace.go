@@ -200,18 +200,60 @@ func (l *Limit) Next() (Instr, bool) {
 	return l.src.Next()
 }
 
-// Collect materialises up to n instructions from src into a slice.
+// Collect materialises up to n instructions from src into a fresh slice.
 func Collect(src Source, n int) []Instr {
-	out := make([]Instr, 0, n)
-	for len(out) < n {
+	return CollectInto(make([]Instr, 0, n), src, n)
+}
+
+// CollectInto materialises up to n instructions from src into dst's
+// backing array, reusing its capacity: dst is truncated and refilled in
+// place, so repeated refills with a large-enough buffer perform no
+// allocations. It returns the refilled slice (which must replace dst, as
+// with append).
+//
+//ubs:hotpath
+func CollectInto(dst []Instr, src Source, n int) []Instr {
+	dst = dst[:0]
+	for len(dst) < n {
 		in, ok := src.Next()
 		if !ok {
 			break
 		}
-		out = append(out, in)
+		//ubs:allowalloc within capacity whenever the caller's buffer holds n instructions
+		dst = append(dst, in)
 	}
-	return out
+	return dst
 }
+
+// Window is a reusable decode window: a fixed-capacity instruction buffer
+// that refills in place from a Source. It replaces the
+// materialise-a-fresh-slice-per-refill pattern in streaming consumers.
+type Window struct {
+	buf []Instr
+}
+
+// NewWindow returns a Window holding up to n instructions.
+func NewWindow(n int) *Window {
+	return &Window{buf: make([]Instr, 0, n)}
+}
+
+// Refill replaces the window's contents with the next instructions from
+// src, reusing the window's backing array. It returns the window's
+// instructions: up to the window capacity, fewer if src ended first, and
+// an empty slice once src is exhausted. The returned slice aliases the
+// window and is valid until the next Refill.
+//
+//ubs:hotpath
+func (w *Window) Refill(src Source) []Instr {
+	w.buf = CollectInto(w.buf, src, cap(w.buf))
+	return w.buf
+}
+
+// Instrs returns the window's current contents (aliasing the window).
+func (w *Window) Instrs() []Instr { return w.buf }
+
+// Cap returns the window's capacity in instructions.
+func (w *Window) Cap() int { return cap(w.buf) }
 
 // Validate checks structural sanity of an instruction: sizes, branch fields
 // and class consistency. It returns a descriptive error for the first
@@ -257,10 +299,41 @@ type Stats struct {
 // Footprint returns the code footprint in bytes (64B-block granularity).
 func (s Stats) Footprint() uint64 { return uint64(s.UniqueBlocks) * 64 }
 
+// BlockSet accumulates the distinct 64-byte code blocks of an instruction
+// stream — the static footprint at cache-block granularity. Unlike an
+// ad-hoc map, a BlockSet is reusable: Reset empties it while keeping the
+// map's storage, so repeated measurements over similar footprints stop
+// allocating once the first pass has grown the buckets.
+type BlockSet struct {
+	m map[uint64]struct{}
+}
+
+// Add records the block containing pc.
+func (b *BlockSet) Add(pc uint64) {
+	if b.m == nil {
+		b.m = make(map[uint64]struct{})
+	}
+	b.m[pc>>6] = struct{}{}
+}
+
+// Len returns the number of distinct blocks recorded.
+func (b *BlockSet) Len() int { return len(b.m) }
+
+// Reset empties the set, retaining its storage for reuse.
+func (b *BlockSet) Reset() { clear(b.m) }
+
 // Measure consumes up to n instructions from src and summarises them.
 func Measure(src Source, n uint64) Stats {
+	var blocks BlockSet
+	return MeasureInto(src, n, &blocks)
+}
+
+// MeasureInto is Measure reusing the caller's BlockSet for the
+// unique-block accounting: blocks is reset and refilled, so repeated
+// measurements reuse its storage instead of rebuilding a map per call.
+func MeasureInto(src Source, n uint64, blocks *BlockSet) Stats {
 	var st Stats
-	blocks := make(map[uint64]struct{})
+	blocks.Reset()
 	st.MinPC = ^uint64(0)
 	for st.Count < n {
 		in, ok := src.Next()
@@ -274,7 +347,7 @@ func Measure(src Source, n uint64) Stats {
 		if in.PC > st.MaxPC {
 			st.MaxPC = in.PC
 		}
-		blocks[in.PC>>6] = struct{}{}
+		blocks.Add(in.PC)
 		switch {
 		case in.Class == ClassLoad:
 			st.Loads++
@@ -299,6 +372,6 @@ func Measure(src Source, n uint64) Stats {
 	if st.Count == 0 {
 		st.MinPC = 0
 	}
-	st.UniqueBlocks = len(blocks)
+	st.UniqueBlocks = blocks.Len()
 	return st
 }

