@@ -1,22 +1,126 @@
-// Command tracegen materialises synthetic workloads into UBST trace files
-// and inspects existing traces.
+// Command tracegen materialises synthetic workloads into UBST trace files,
+// converts foreign trace formats, and inspects existing traces.
 //
 //	tracegen -list                                # all workload names
 //	tracegen -workload server_001 -n 5000000 -o server_001.ubst.gz
-//	tracegen -inspect server_001.ubst.gz          # summary statistics
-//	tracegen -inspect a.ubst b.ubst.gz            # extra files as args
+//	tracegen convert -i trace.champsim.gz -o trace.ubst.gz
+//	tracegen convert -i trace.champsim -o out.ubst -n 1000000
+//	tracegen inspect server_001.ubst.gz           # summary statistics
+//	tracegen inspect a.champsim b.ubst.gz         # mixed formats by extension
+//	tracegen -inspect server_001.ubst.gz          # legacy spelling, still works
+//
+// Input formats are inferred from the file name: a path containing
+// ".champsim" is decoded as a ChampSim trace (64-byte records, optionally
+// gzip-compressed); anything else is read as UBST. ChampSim .xz traces must
+// be decompressed externally first (the Go standard library has no xz
+// codec).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ubscache/internal/trace"
 	"ubscache/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "convert":
+			runConvert(os.Args[2:])
+			return
+		case "inspect":
+			runInspect(os.Args[2:])
+			return
+		}
+	}
+	legacyMain()
+}
+
+// runConvert decodes a foreign-format trace (ChampSim by extension) and
+// re-encodes it as UBST.
+func runConvert(args []string) {
+	fs := flag.NewFlagSet("tracegen convert", flag.ExitOnError)
+	in := fs.String("i", "", "input trace (.champsim[.gz] decodes as ChampSim, else UBST)")
+	out := fs.String("o", "", "output file (.ubst or .ubst.gz)")
+	n := fs.Uint64("n", 0, "instruction limit (0 = the whole trace)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracegen convert -i <trace> -o <file.ubst[.gz]> [-n N]")
+		os.Exit(2)
+	}
+	src, err := openTrace(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer src.Close()
+	var limited trace.Source = src
+	if *n > 0 {
+		limited = trace.NewLimit(src, *n)
+	}
+	written, err := trace.WriteAll(*out, limited)
+	if err != nil {
+		fatal(err)
+	}
+	if err := src.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d instructions to %s\n", written, *out)
+}
+
+// runInspect summarises one or more trace files, formats inferred per file.
+func runInspect(args []string) {
+	fs := flag.NewFlagSet("tracegen inspect", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracegen inspect <trace>...")
+		os.Exit(2)
+	}
+	inspectFiles(fs.Args())
+}
+
+// traceFile is the common surface of the UBST reader and the ChampSim
+// decoder: a Source with an error report and a close.
+type traceFile interface {
+	trace.Source
+	Err() error
+	Close() error
+}
+
+// openTrace opens path with the decoder its name implies.
+func openTrace(path string) (traceFile, error) {
+	if strings.Contains(path, ".champsim") {
+		return trace.OpenChampSim(path, false)
+	}
+	return trace.Open(path)
+}
+
+// inspectFiles measures each file with one shared BlockSet: the footprint
+// map's storage is reset and reused per trace instead of rebuilt per
+// invocation.
+func inspectFiles(paths []string) {
+	var blocks trace.BlockSet
+	for _, path := range paths {
+		r, err := openTrace(path)
+		if err != nil {
+			fatal(err)
+		}
+		st := trace.MeasureInto(r, ^uint64(0), &blocks)
+		if err := r.Err(); err != nil {
+			r.Close()
+			fatal(err)
+		}
+		r.Close()
+		printStats(path, st)
+	}
+}
+
+// legacyMain is the original flag-based interface, preserved verbatim for
+// existing scripts.
+func legacyMain() {
 	var (
 		list    = flag.Bool("list", false, "list workload names and exit")
 		wl      = flag.String("workload", "", "workload to materialise")
@@ -36,22 +140,7 @@ func main() {
 			fmt.Println()
 		}
 	case *inspect != "":
-		// One BlockSet serves every file: the footprint map's storage is
-		// reset and reused per trace instead of rebuilt per invocation.
-		var blocks trace.BlockSet
-		for _, path := range append([]string{*inspect}, flag.Args()...) {
-			r, err := trace.Open(path)
-			if err != nil {
-				fatal(err)
-			}
-			st := trace.MeasureInto(r, ^uint64(0), &blocks)
-			if err := r.Err(); err != nil {
-				r.Close()
-				fatal(err)
-			}
-			r.Close()
-			printStats(path, st)
-		}
+		inspectFiles(append([]string{*inspect}, flag.Args()...))
 	case *wl != "":
 		cfg, err := workload.ByName(*wl)
 		if err != nil {
@@ -74,7 +163,7 @@ func main() {
 		}
 		fmt.Printf("wrote %d instructions to %s\n", written, *out)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: tracegen -list | -workload <name> [-n N] [-o file] | -inspect <file>")
+		fmt.Fprintln(os.Stderr, "usage: tracegen -list | -workload <name> [-n N] [-o file] | convert -i <trace> -o <file> | inspect <file>...")
 		os.Exit(2)
 	}
 }

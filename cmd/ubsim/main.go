@@ -4,6 +4,8 @@
 //
 //	ubsim -workload server_003 -design ubs
 //	ubsim -workload client_001 -design conv:64 -measure 10000000
+//	ubsim -workload mix:examples/specs/clients.yaml -design ubs
+//	ubsim -workload champsim:trace.champsim.gz -design conv:64
 //	ubsim -trace dump.ubst.gz -design ghrp
 //
 // Designs are resolved through the sim design registry (sim.ParseDesign):
@@ -11,6 +13,11 @@
 // distill, ghrp, acic, the predictor/way variants ubs-pred-<name> and
 // ubs-<N>way-c<V>, or an inline JSON spec such as
 // '{"kind":"ubs","config":{"kb":64}}'.
+//
+// Workloads are resolved through the symmetric workload registry
+// (workloadspec.ParseWorkload): a bare preset name, preset:<name>,
+// mix:<file.yaml|json>, champsim:<trace[.gz]>, trace:<file.ubst[.gz]>, or
+// an inline JSON spec such as '{"kind":"preset","config":{"name":"x"}}'.
 //
 // Observability: -stats-json streams NDJSON heartbeat records (plus a
 // final manifest) to a file; -http serves live metrics (Prometheus text at
@@ -36,7 +43,7 @@ import (
 	"ubscache/internal/sim"
 	"ubscache/internal/stats"
 	"ubscache/internal/trace"
-	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 func main() {
@@ -47,7 +54,7 @@ func main() {
 // stream, the metrics server) fire before exit.
 func run() int {
 	var (
-		wl        = flag.String("workload", "server_001", "workload name (see tracegen -list)")
+		wl        = flag.String("workload", "server_001", "workload shorthand: preset name, preset:<name>, mix:<file>, champsim:<trace>, trace:<file>, or inline JSON spec")
 		traceFile = flag.String("trace", "", "simulate a UBST trace file instead of a synthetic workload")
 		design    = flag.String("design", "ubs", "instruction cache design")
 		warmup    = flag.Uint64("warmup", 0, "warmup instructions (0 = default)")
@@ -143,12 +150,12 @@ func run() int {
 			return reportRunErr(err, *statsJSON)
 		}
 	} else {
-		wcfg, err := workload.ByName(*wl)
+		w, err := workloadspec.ParseWorkload(*wl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		res, err = sim.RunContext(ctx, params, wcfg, d.Name, d.Factory)
+		res, err = workloadspec.Run(ctx, params, w, d.Name, d.Factory)
 		if err != nil {
 			return reportRunErr(err, *statsJSON)
 		}

@@ -6,6 +6,7 @@
 //	ubsweep -exp all -parallel 8 -v       # 8 concurrent simulations, progress/ETA
 //	ubsweep -spec examples/specs/perf.json -json -out artifacts
 //	ubsweep -designs ubs:64,conv:128      # custom design comparison vs conv-32KB
+//	ubsweep -designs ubs,conv:64 -workload mix:examples/specs/clients.yaml
 //	ubsweep -list                         # available experiments
 //	ubsweep -bench BENCH_PR2.json         # hot-path microbench suite -> JSON
 //	ubsweep -exp all -cpuprofile cpu.out  # pprof the sweep itself
@@ -38,6 +39,7 @@ import (
 	"ubscache/internal/exp"
 	"ubscache/internal/runner"
 	"ubscache/internal/sim"
+	"ubscache/internal/workloadspec"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func run() int {
 	var (
 		expID     = flag.String("exp", "", "experiment id (or 'all')")
 		designsIn = flag.String("designs", "", "comma-separated design shorthands (see ubsim -design); runs a custom comparison vs conv-32KB")
+		wlIn      = flag.String("workload", "", "comma-separated workload shorthands (see ubsim -workload) crossed with -designs; default: the preset families")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		perFamily = flag.Int("per-family", 0, "workloads per family (0 = all)")
 		warmup    = flag.Uint64("warmup", 0, "warmup instructions (0 = default)")
@@ -99,7 +102,7 @@ func run() int {
 		return runBench(*benchOut, *benchBase, *benchTag)
 	}
 
-	noSelection := *expID == "" && *specPath == "" && *designsIn == ""
+	noSelection := *expID == "" && *specPath == "" && *designsIn == "" && *wlIn == ""
 	if *list || noSelection {
 		fmt.Println("experiments:")
 		for _, e := range exp.Registry {
@@ -143,6 +146,26 @@ func run() int {
 					return 1
 				}
 				spec.Designs = append(spec.Designs, ds)
+			}
+		}
+	}
+	if *wlIn != "" {
+		spec.Workloads = nil
+		if strings.HasPrefix(strings.TrimSpace(*wlIn), "[") {
+			// A JSON array of workload specs (shorthands with embedded
+			// commas, e.g. inline {"kind":...} specs, can't be comma-split).
+			if err := json.Unmarshal([]byte(*wlIn), &spec.Workloads); err != nil {
+				fmt.Fprintln(os.Stderr, "ubsweep: -workload:", err)
+				return 1
+			}
+		} else {
+			for _, name := range strings.Split(*wlIn, ",") {
+				ws, err := workloadspec.ParseWorkloadSpec(strings.TrimSpace(name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				spec.Workloads = append(spec.Workloads, ws)
 			}
 		}
 	}

@@ -108,6 +108,40 @@ func ExampleUBSCustom() {
 	// my-ubs 5 184
 }
 
+// ExampleParseWorkload resolves workloads through the registry —
+// symmetric to ExampleParseDesign: shorthand names (the `ubsim -workload`
+// grammar) and declarative JSON specs both reach the same registered
+// builders. A bare preset name remains a valid shorthand.
+func ExampleParseWorkload() {
+	w, err := ubscache.ParseWorkload("preset:server_003")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bare, err := ubscache.ParseWorkload("server_003")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := ubscache.WorkloadSpec{Kind: "mix", Config: []byte(`{
+		"seed": 7,
+		"clients": [
+			{"preset": "server_001", "weight": 2, "arrival": {"process": "poisson"}},
+			{"preset": "client_001", "arrival": {"process": "gamma", "cv": 3}}
+		]
+	}`)}
+	mix, err := ubscache.ResolveWorkload(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, generator := w.Config()
+	fmt.Println(w.Name, w.Name == bare.Name, generator)
+	fmt.Println(mix.Spec.Kind, len(mix.Name) > 0)
+	fmt.Println(ubscache.WorkloadKinds())
+	// Output:
+	// server_003 true true
+	// mix true
+	// [champsim config mix preset trace]
+}
+
 // ExampleWorkloadNames lists the preset server workloads.
 func ExampleWorkloadNames() {
 	names := ubscache.WorkloadNames(ubscache.FamilyServer)

@@ -46,8 +46,14 @@ var Analyzer = &analysis.Analyzer{
 // in scope deliberately: the simulation core it calls must stay under the
 // deterministic rule, so its own wall-clock reads (job timestamps,
 // latency metrics, retry hints) are each audited with //ubs:wallclock
-// rather than exempted wholesale.
-var scope = []string{"internal/sim", "internal/exp", "internal/runner", "internal/obs", "internal/serve"}
+// rather than exempted wholesale. internal/workloadspec (client
+// interleaving draws from mix seeds) and internal/trace (the ChampSim
+// decode path feeds simulations byte-for-byte) joined the scope when
+// workload resolution became part of the result identity.
+var scope = []string{
+	"internal/sim", "internal/exp", "internal/runner", "internal/obs",
+	"internal/serve", "internal/workloadspec", "internal/trace",
+}
 
 // seededConstructors are the math/rand package-level functions that build
 // explicit sources and generators rather than touching the global one.

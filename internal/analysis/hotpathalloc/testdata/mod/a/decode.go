@@ -1,0 +1,63 @@
+package a
+
+// Trace-decode shapes from the ChampSim importer's per-record hot path:
+// fixed-buffer reads and in-place field extraction stay allocation-free;
+// the error construction on the truncated-record failure path is audited
+// and waived, while the same construction without a waiver — or
+// formatting in the success path — must still be flagged.
+
+import (
+	"fmt"
+	"io"
+)
+
+// decoder is the importer shape: one fixed record buffer reused for
+// every read, a persistent last-writer table, no per-record state.
+type decoder struct {
+	r    io.Reader
+	buf  [64]byte
+	idx  uint64
+	errv error
+}
+
+// ReadRecord is the per-record decode step: io.ReadFull into the reused
+// fixed-size buffer allocates nothing on the success path; the error
+// wrap on the truncated-record path runs at most once per stream and is
+// audited.
+//
+//ubs:hotpath
+func (d *decoder) ReadRecord() (uint64, bool) {
+	if _, err := io.ReadFull(d.r, d.buf[:]); err != nil {
+		if err != io.EOF {
+			//ubs:allowalloc error construction on the truncated-record failure path
+			d.errv = fmt.Errorf("record %d: %v", d.idx, err)
+		}
+		return 0, false
+	}
+	var pc uint64
+	for i := 0; i < 8; i++ {
+		pc |= uint64(d.buf[i]) << (8 * i)
+	}
+	d.idx++
+	return pc, true
+}
+
+// ReadRecordUnaudited wraps the same failure path without the waiver:
+// still a finding.
+//
+//ubs:hotpath
+func (d *decoder) ReadRecordUnaudited() (uint64, bool) {
+	if _, err := io.ReadFull(d.r, d.buf[:]); err != nil {
+		d.errv = fmt.Errorf("truncated: %v", err) // want `fmt\.Errorf in //ubs:hotpath function`
+		return 0, false
+	}
+	return 0, true
+}
+
+// TraceSuccessPath formats in the per-record success path: never
+// waivable by audit — formatting work belongs outside the hot loop.
+//
+//ubs:hotpath
+func (d *decoder) TraceSuccessPath(pc uint64) {
+	fmt.Printf("pc=%#x\n", pc) // want `fmt\.Printf in //ubs:hotpath function`
+}

@@ -16,6 +16,7 @@ import (
 	"ubscache/internal/bpu"
 	"ubscache/internal/sim"
 	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 // Options control an experiment run.
@@ -31,7 +32,7 @@ type Options struct {
 	// Exec, when non-nil, executes simulation points in place of direct
 	// sim.Run calls. The runner subsystem injects its parallel memoizing
 	// store here; p is already normalised.
-	Exec func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
+	Exec func(p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, error)
 	// Context, when non-nil, cancels in-flight simulations between
 	// heartbeat intervals (see sim.RunContext). Exec implementations are
 	// expected to honour their own context.
@@ -120,7 +121,7 @@ func ByID(id string) (Experiment, error) {
 // experiment requests. Factory rebuilds the design under test.
 type SimPoint struct {
 	Params   sim.Params
-	Workload workload.Config
+	Workload workloadspec.Workload
 	Design   string
 	Factory  sim.FrontendFactory
 }
@@ -200,21 +201,27 @@ func (r *Runner) workloads(f workload.Family) []workload.Config {
 	return out
 }
 
-// run simulates (workload, design), memoized. In capture mode the point is
-// recorded and a zero result returned instead; experiment rendering code
-// must therefore tolerate zero results (it does: the dry-run output is
-// thrown away).
+// run simulates (workload, design) for a generator-backed workload,
+// memoized; it is runWorkload over the config's resolved form.
 func (r *Runner) run(wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
-	key := wcfg.Name + "|" + design
+	return r.runWorkload(workloadspec.FromConfig(wcfg), design, factory)
+}
+
+// runWorkload simulates (workload, design), memoized. In capture mode the
+// point is recorded and a zero result returned instead; experiment
+// rendering code must therefore tolerate zero results (it does: the
+// dry-run output is thrown away).
+func (r *Runner) runWorkload(w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, error) {
+	key := w.Ident() + "|" + design
 	if r.capturing {
 		if !r.simSeen[key] {
 			r.simSeen[key] = true
 			r.sims = append(r.sims, SimPoint{
-				Params: r.Opts.params(), Workload: wcfg,
+				Params: r.Opts.params(), Workload: w,
 				Design: design, Factory: factory,
 			})
 		}
-		return sim.Result{Workload: wcfg.Name, Design: design}, nil
+		return sim.Result{Workload: w.Name, Design: design}, nil
 	}
 	r.mu.Lock()
 	if res, ok := r.cache[key]; ok {
@@ -222,15 +229,15 @@ func (r *Runner) run(wcfg workload.Config, design string, factory sim.FrontendFa
 		return res, nil
 	}
 	r.mu.Unlock()
-	r.Opts.progress("  running %s on %s ...", wcfg.Name, design)
+	r.Opts.progress("  running %s on %s ...", w.Name, design)
 	var (
 		res sim.Result
 		err error
 	)
 	if r.Opts.Exec != nil {
-		res, err = r.Opts.Exec(r.Opts.params(), wcfg, design, factory)
+		res, err = r.Opts.Exec(r.Opts.params(), w, design, factory)
 	} else {
-		res, err = sim.RunContext(r.Opts.ctx(), r.Opts.params(), wcfg, design, factory)
+		res, err = workloadspec.Run(r.Opts.ctx(), r.Opts.params(), w, design, factory)
 	}
 	if err != nil {
 		return sim.Result{}, err
@@ -297,11 +304,13 @@ var allFamilies = []workload.Family{
 }
 
 // CustomExperiment synthesizes an experiment from declarative design
-// specs: every design is simulated on the performance families and its
-// geomean speedup reported against the conv-32KB baseline (the paper's
-// standard comparison frame). Spec resolution errors surface immediately,
-// before any simulation runs.
-func CustomExperiment(specs []sim.DesignSpec) (Experiment, error) {
+// specs crossed with declarative workload specs. With no workloads every
+// design is simulated on the performance families and its geomean speedup
+// reported against the conv-32KB baseline (the paper's standard
+// comparison frame); with workloads the experiment crosses designs ×
+// workloads and reports one row per workload. Spec resolution errors
+// surface immediately, before any simulation runs.
+func CustomExperiment(specs []sim.DesignSpec, workloads []workloadspec.Spec) (Experiment, error) {
 	if len(specs) == 0 {
 		return Experiment{}, fmt.Errorf("exp: custom experiment needs at least one design spec")
 	}
@@ -317,16 +326,38 @@ func CustomExperiment(specs []sim.DesignSpec) (Experiment, error) {
 	for i, d := range designs {
 		names[i] = d.Name
 	}
+	wls := make([]workloadspec.Workload, len(workloads))
+	for i, spec := range workloads {
+		w, err := workloadspec.ResolveWorkload(spec)
+		if err != nil {
+			return Experiment{}, fmt.Errorf("exp: custom workload %d: %w", i, err)
+		}
+		wls[i] = w
+	}
+	if len(wls) == 0 {
+		return Experiment{
+			ID:    "custom",
+			Title: "Custom design sweep: " + strings.Join(names, ", "),
+			Paper: "User-specified designs; speedups vs the conv-32KB baseline.",
+			Run: func(r *Runner) (string, error) {
+				tb, err := r.speedups(designConv32(), designs, perfFamilies)
+				if err != nil {
+					return "", err
+				}
+				return "Geomean speedup over conv-32KB\n" + tb.String(), nil
+			},
+		}, nil
+	}
 	return Experiment{
 		ID:    "custom",
-		Title: "Custom design sweep: " + strings.Join(names, ", "),
-		Paper: "User-specified designs; speedups vs the conv-32KB baseline.",
+		Title: "Custom sweep: " + strings.Join(names, ", ") + " × " + fmt.Sprintf("%d workloads", len(wls)),
+		Paper: "User-specified designs × workload specs; speedups vs the conv-32KB baseline.",
 		Run: func(r *Runner) (string, error) {
-			tb, err := r.speedups(designConv32(), designs, perfFamilies)
+			tb, err := r.workloadSpeedups(designConv32(), designs, wls)
 			if err != nil {
 				return "", err
 			}
-			return "Geomean speedup over conv-32KB\n" + tb.String(), nil
+			return "Speedup over conv-32KB, per workload spec\n" + tb.String(), nil
 		},
 	}, nil
 }

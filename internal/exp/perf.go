@@ -9,6 +9,7 @@ import (
 	"ubscache/internal/stats"
 	"ubscache/internal/ubs"
 	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 // speedups collects per-family geomean IPC ratios of each design over the
@@ -37,6 +38,33 @@ func (r *Runner) speedups(base Design, designs []Design, families []workload.Fam
 		}
 		for _, d := range designs {
 			row = append(row, stats.Speedup(stats.Geomean(ratios[d.Name])))
+		}
+		tb.Row(row...)
+	}
+	return tb, nil
+}
+
+// workloadSpeedups collects per-workload IPC ratios of each design over
+// the baseline design — the workload-spec analogue of speedups, with one
+// row per resolved workload instead of per preset family.
+func (r *Runner) workloadSpeedups(base Design, designs []Design, workloads []workloadspec.Workload) (*stats.Table, error) {
+	header := []string{"workload", "base IPC"}
+	for _, d := range designs {
+		header = append(header, d.Name)
+	}
+	tb := stats.NewTable(header...)
+	for _, w := range workloads {
+		baseRes, err := r.runWorkload(w, base.Name, base.Factory)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{w.Name, fmt.Sprintf("%.3f", baseRes.IPC())}
+		for _, d := range designs {
+			res, err := r.runWorkload(w, d.Name, d.Factory)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Speedup(res.IPC()/baseRes.IPC()))
 		}
 		tb.Row(row...)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"ubscache/internal/sim"
 	"ubscache/internal/stats"
+	"ubscache/internal/workloadspec"
 )
 
 // RunRecord is one simulation's machine-readable summary — an entry of
@@ -65,11 +66,11 @@ type ResultsFile struct {
 }
 
 // record builds a RunRecord from a completed simulation point.
-func record(key string, p sim.Params, res sim.Result, meta RunMeta, experiments []string) RunRecord {
+func record(key string, p sim.Params, res sim.Result, meta RunMeta, experiments []string, family string) RunRecord {
 	return RunRecord{
 		Key:          key,
 		Workload:     res.Workload,
-		Family:       familyOf(res.Workload),
+		Family:       family,
 		Design:       res.Design,
 		Warmup:       p.Warmup,
 		Measure:      p.Measure,
@@ -121,6 +122,35 @@ func familyOf(name string) string {
 		return name[:i]
 	}
 	return name
+}
+
+// workloadFamily is the results.json family column for a registry
+// workload: the preset family for generator-backed workloads, the
+// registry kind ("mix", "champsim", ...) otherwise.
+func workloadFamily(w workloadspec.Workload) string {
+	if _, ok := w.Config(); ok {
+		return familyOf(w.Name)
+	}
+	return w.Spec.Kind
+}
+
+// scrubTimings zeroes every volatile field of a results file — wall
+// clocks, per-run timings, and cache provenance — leaving only the
+// deterministic simulated quantities. With Spec.OmitTimings this makes
+// repeated runs of one spec byte-identical.
+func scrubTimings(rf *ResultsFile) {
+	rf.WallSeconds = 0
+	for i := range rf.Experiments {
+		rf.Experiments[i].SimSeconds = 0
+		rf.Experiments[i].RenderSeconds = 0
+		if rf.Experiments[i].Rollup != nil {
+			rf.Experiments[i].Rollup["sim_seconds"] = 0
+		}
+	}
+	for i := range rf.Runs {
+		rf.Runs[i].Seconds = 0
+		rf.Runs[i].FromCache = false
+	}
 }
 
 // WriteResults writes the results.json artifact atomically.

@@ -9,7 +9,7 @@ import (
 
 	"ubscache/internal/exp"
 	"ubscache/internal/sim"
-	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 // Sweep runs a Spec end to end. Execution has four phases:
@@ -77,8 +77,8 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 	r := exp.NewRunner(exp.Options{
 		Params:    sw.Spec.SimParams(),
 		PerFamily: sw.Spec.PerFamily,
-		Exec: func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
-			return store.RunContext(ctx, p, wcfg, design, factory)
+		Exec: func(p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, error) {
+			return store.RunWorkloadContext(ctx, p, w, design, factory)
 		},
 	})
 
@@ -104,7 +104,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 		}
 		pl := expPlan{e: e, sims: sims, aux: aux}
 		for _, pt := range sims {
-			key := Key(pt.Params, pt.Workload, pt.Design)
+			key := WorkloadKey(pt.Params, pt.Workload, pt.Design)
 			pl.keys = append(pl.keys, key)
 			if _, ok := points[key]; !ok {
 				points[key] = pt
@@ -113,7 +113,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 				tasks = append(tasks, Task{
 					Name: pt.Workload.Name + "/" + pt.Design,
 					Run: func() error {
-						_, err := store.RunContext(ctx, pt.Params, pt.Workload, pt.Design, pt.Factory)
+						_, err := store.RunWorkloadContext(ctx, pt.Params, pt.Workload, pt.Design, pt.Factory)
 						return err
 					},
 				})
@@ -177,11 +177,18 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 		if !ok {
 			return nil, fmt.Errorf("runner: point %s missing after warm phase", key)
 		}
-		rec := record(key, pt.Params, res, store.Meta(key), usedBy[key])
+		rec := record(key, pt.Params, res, store.Meta(key), usedBy[key], workloadFamily(pt.Workload))
 		byKey[key] = rec
 		rf.Runs = append(rf.Runs, rec)
 	}
 	rf.WallSeconds = time.Since(start).Seconds()
+	if sw.Spec.OmitTimings {
+		scrubTimings(&rf)
+		for key, rec := range byKey {
+			rec.Seconds, rec.FromCache = 0, false
+			byKey[key] = rec
+		}
+	}
 	out.Results = rf
 
 	if sw.ArtifactDir != "" {
@@ -222,9 +229,12 @@ func (sw *Sweep) flushPartial(ctx context.Context, store *Store, order []string,
 		if !ok {
 			continue
 		}
-		rf.Runs = append(rf.Runs, record(key, points[key].Params, res, store.Meta(key), usedBy[key]))
+		rf.Runs = append(rf.Runs, record(key, points[key].Params, res, store.Meta(key), usedBy[key], workloadFamily(points[key].Workload)))
 	}
 	rf.WallSeconds = time.Since(start).Seconds()
+	if sw.Spec.OmitTimings {
+		scrubTimings(&rf)
+	}
 	out := &Outcome{Results: rf}
 	if sw.ResultsPath != "" {
 		if err := WriteResults(sw.ResultsPath, &rf); err != nil {

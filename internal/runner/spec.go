@@ -16,6 +16,7 @@ import (
 
 	"ubscache/internal/exp"
 	"ubscache/internal/sim"
+	"ubscache/internal/workloadspec"
 )
 
 // Spec declares a sweep. The zero value means "every registered
@@ -31,12 +32,23 @@ type Spec struct {
 	// (see exp.CustomExperiment). Each entry is a registry design spec:
 	//   {"kind": "ubs", "config": {"kb": 64}}
 	Designs []sim.DesignSpec `json:"designs,omitempty"`
+	// Workloads, when non-empty, crosses the custom experiment's designs
+	// with these workload specs instead of the preset performance
+	// families. Each entry is a workload registry spec:
+	//   {"kind": "mix", "config": {"clients": [...]}}
+	// Requires Designs.
+	Workloads []workloadspec.Spec `json:"workloads,omitempty"`
 	// PerFamily caps workloads per family (0 = all).
 	PerFamily int `json:"per_family,omitempty"`
 	// Parallel is the worker count (0 = GOMAXPROCS).
 	Parallel int `json:"parallel,omitempty"`
 	// Params overrides simulation parameters.
 	Params ParamSpec `json:"params,omitempty"`
+	// OmitTimings zeroes the volatile wall-clock and cache-provenance
+	// fields of results.json (wall_seconds, per-run seconds/from_cache,
+	// per-experiment sim/render seconds), making repeated runs of the
+	// same spec byte-identical.
+	OmitTimings bool `json:"omit_timings,omitempty"`
 }
 
 // ParamSpec is the JSON-facing subset of sim.Params. Zero-valued fields
@@ -91,6 +103,14 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("runner: design %d: %w", i, err)
 		}
 	}
+	if len(s.Workloads) > 0 && len(s.Designs) == 0 {
+		return fmt.Errorf("runner: workloads require designs (the custom experiment crosses them)")
+	}
+	for i, spec := range s.Workloads {
+		if _, err := workloadspec.ResolveWorkload(spec); err != nil {
+			return fmt.Errorf("runner: workload %d: %w", i, err)
+		}
+	}
 	if s.PerFamily < 0 {
 		return fmt.Errorf("runner: negative per_family %d", s.PerFamily)
 	}
@@ -129,7 +149,7 @@ func (s Spec) Plan() ([]exp.Experiment, error) {
 		}
 	}
 	if len(s.Designs) > 0 {
-		e, err := exp.CustomExperiment(s.Designs)
+		e, err := exp.CustomExperiment(s.Designs, s.Workloads)
 		if err != nil {
 			return nil, err
 		}

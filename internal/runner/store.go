@@ -13,6 +13,7 @@ import (
 
 	"ubscache/internal/sim"
 	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 // Key returns the content hash identifying one simulation point: the
@@ -25,6 +26,26 @@ func Key(p sim.Params, wcfg workload.Config, design string) string {
 	// The structs are flat with exported fields only; encoding cannot fail.
 	enc.Encode(p)
 	enc.Encode(wcfg)
+	enc.Encode(design)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// WorkloadKey extends Key to registry workloads. Generator-backed
+// workloads hash their materialised workload.Config through Key, so every
+// historical cache entry and every "preset:x"-vs-bare-"x" spelling of the
+// same program keeps the same key. Source-backed workloads (mix, trace,
+// champsim) hash their canonical resolved Spec — mix files are inlined at
+// parse time, so the key covers the clients and seed, not a file path.
+// The "workload-spec" tag keeps the two hash domains disjoint.
+func WorkloadKey(p sim.Params, w workloadspec.Workload, design string) string {
+	if cfg, ok := w.Config(); ok {
+		return Key(p, cfg, design)
+	}
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	enc.Encode(p)
+	enc.Encode("workload-spec")
+	enc.Encode(w.Spec)
 	enc.Encode(design)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
@@ -52,11 +73,15 @@ type flight struct {
 type Store struct {
 	// Dir persists results under <Dir>/<key>.json when non-empty.
 	Dir string
-	// Sim runs one simulation; nil means sim.Run (tests inject stubs).
+	// Sim runs one simulation; nil means sim.Run (tests inject stubs). It
+	// only sees generator-backed workloads; SimWorkload covers all kinds.
 	Sim func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
 	// SimContext, when non-nil, takes precedence over Sim and receives
 	// the caller's context (tests inject blocking, cancellable stubs).
 	SimContext func(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
+	// SimWorkload, when non-nil, takes precedence over SimContext and Sim
+	// for every workload kind, including source-backed ones.
+	SimWorkload func(ctx context.Context, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, error)
 
 	mu       sync.Mutex
 	results  map[string]sim.Result
@@ -75,8 +100,7 @@ func NewStore(dir string) *Store {
 }
 
 // Run returns the memoized result for (p, wcfg, design), computing it at
-// most once per key no matter how many goroutines ask concurrently. Its
-// signature matches exp.Options.Exec.
+// most once per key no matter how many goroutines ask concurrently.
 func (s *Store) Run(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
 	return s.RunContext(context.Background(), p, wcfg, design, factory)
 }
@@ -85,16 +109,30 @@ func (s *Store) Run(p sim.Params, wcfg workload.Config, design string, factory s
 // between heartbeat intervals (see sim.RunContext) and its error is not
 // memoized, so a resumed sweep retries the point.
 func (s *Store) RunContext(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error) {
-	res, _, err := s.RunContextShared(ctx, p, wcfg, design, factory)
+	res, _, err := s.RunWorkloadShared(ctx, p, workloadspec.FromConfig(wcfg), design, factory)
 	return res, err
 }
 
 // RunContextShared is RunContext that additionally reports whether the
-// result was shared — served from the memo, a disk-cache entry, or
-// another caller's in-flight execution — rather than computed on behalf
-// of this call. The serving layer uses it to mark deduplicated jobs.
+// result was shared (see RunWorkloadShared).
 func (s *Store) RunContextShared(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, bool, error) {
-	key := Key(p, wcfg, design)
+	return s.RunWorkloadShared(ctx, p, workloadspec.FromConfig(wcfg), design, factory)
+}
+
+// RunWorkloadContext is RunContext over a registry workload of any kind.
+// Its signature matches exp.Options.Exec.
+func (s *Store) RunWorkloadContext(ctx context.Context, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, error) {
+	res, _, err := s.RunWorkloadShared(ctx, p, w, design, factory)
+	return res, err
+}
+
+// RunWorkloadShared is RunWorkloadContext that additionally reports
+// whether the result was shared — served from the memo, a disk-cache
+// entry, or another caller's in-flight execution — rather than computed
+// on behalf of this call. The serving layer uses it to mark deduplicated
+// jobs.
+func (s *Store) RunWorkloadShared(ctx context.Context, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, bool, error) {
+	key := WorkloadKey(p, w, design)
 	s.mu.Lock()
 	if res, ok := s.results[key]; ok {
 		s.mu.Unlock()
@@ -109,7 +147,7 @@ func (s *Store) RunContextShared(ctx context.Context, p sim.Params, wcfg workloa
 	s.inflight[key] = f
 	s.mu.Unlock()
 
-	res, meta, err := s.compute(ctx, key, p, wcfg, design, factory)
+	res, meta, err := s.compute(ctx, key, p, w, design, factory)
 	f.res, f.err = res, err
 	s.mu.Lock()
 	if err == nil {
@@ -137,13 +175,13 @@ func (s *Store) Meta(key string) RunMeta {
 	return s.meta[key]
 }
 
-func (s *Store) compute(ctx context.Context, key string, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, RunMeta, error) {
+func (s *Store) compute(ctx context.Context, key string, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, RunMeta, error) {
 	if res, sec, ok := s.loadDisk(key); ok {
 		return res, RunMeta{Seconds: sec, Disk: true}, nil
 	}
 	//ubs:wallclock RunMeta.Seconds cache metadata, not a simulated quantity
 	t0 := time.Now()
-	res, err := s.simulate(ctx, p, wcfg, design, factory)
+	res, err := s.simulate(ctx, p, w, design, factory)
 	if err != nil {
 		return sim.Result{}, RunMeta{}, err
 	}
@@ -153,20 +191,29 @@ func (s *Store) compute(ctx context.Context, key string, p sim.Params, wcfg work
 }
 
 // simulate isolates per-run panics into errors so one bad design point
-// cannot take down a whole sweep.
-func (s *Store) simulate(ctx context.Context, p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (res sim.Result, err error) {
+// cannot take down a whole sweep. The injection seams dispatch in
+// precedence order: SimWorkload sees every kind; SimContext and Sim keep
+// their historical workload.Config signature and so only see
+// generator-backed workloads (source-backed kinds fall through to the
+// real simulation).
+func (s *Store) simulate(ctx context.Context, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runner: %s on %s panicked: %v", design, wcfg.Name, r)
+			err = fmt.Errorf("runner: %s on %s panicked: %v", design, w.Name, r)
 		}
 	}()
-	if s.SimContext != nil {
-		return s.SimContext(ctx, p, wcfg, design, factory)
+	if s.SimWorkload != nil {
+		return s.SimWorkload(ctx, p, w, design, factory)
 	}
-	if s.Sim != nil {
-		return s.Sim(p, wcfg, design, factory)
+	if cfg, ok := w.Config(); ok {
+		if s.SimContext != nil {
+			return s.SimContext(ctx, p, cfg, design, factory)
+		}
+		if s.Sim != nil {
+			return s.Sim(p, cfg, design, factory)
+		}
 	}
-	return sim.RunContext(ctx, p, wcfg, design, factory)
+	return workloadspec.Run(ctx, p, w, design, factory)
 }
 
 // diskRecord is the on-disk cache entry; sim.Result round-trips through

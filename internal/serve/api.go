@@ -32,7 +32,7 @@ import (
 
 	"ubscache/internal/runner"
 	"ubscache/internal/sim"
-	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 // Priority is a job's service class. Interactive jobs are dispatched
@@ -70,8 +70,8 @@ func (s JobState) Terminal() bool {
 }
 
 // SubmitRequest is the POST /jobs body: a design (shorthand or
-// declarative spec), a preset workload, optional run-length overrides,
-// and a service class.
+// declarative spec), a workload (shorthand or declarative spec), optional
+// run-length overrides, and a service class.
 type SubmitRequest struct {
 	// Design is a registry shorthand ("ubs", "conv:64", "ghrp", ... — the
 	// same grammar as `ubsim -design`). Exactly one of Design and Spec
@@ -79,8 +79,13 @@ type SubmitRequest struct {
 	Design string `json:"design,omitempty"`
 	// Spec is the declarative alternative to Design.
 	Spec *sim.DesignSpec `json:"spec,omitempty"`
-	// Workload names a preset workload (e.g. "server_003").
-	Workload string `json:"workload"`
+	// Workload is a workload registry shorthand ("server_003",
+	// "preset:server_003", "mix:clients.yaml", "champsim:trace.gz" — the
+	// same grammar as `ubsim -workload`). Exactly one of Workload and
+	// WorkloadSpec must be set.
+	Workload string `json:"workload,omitempty"`
+	// WorkloadSpec is the declarative alternative to Workload.
+	WorkloadSpec *workloadspec.Spec `json:"workload_spec,omitempty"`
 	// Warmup and Measure override the default instruction counts (0
 	// keeps the defaults).
 	Warmup  uint64 `json:"warmup,omitempty"`
@@ -93,14 +98,14 @@ type SubmitRequest struct {
 // to execute the job, plus the content key identifying its result.
 type resolved struct {
 	design   sim.Design
-	wcfg     workload.Config
+	wl       workloadspec.Workload
 	params   sim.Params
 	priority Priority
 	key      string
 }
 
-// resolve validates the request against the design registry and workload
-// presets and computes the job's content key. base supplies the system
+// resolve validates the request against the design and workload
+// registries and computes the job's content key. base supplies the system
 // parameters requests override.
 func (r *SubmitRequest) resolve(base sim.Params) (resolved, error) {
 	var (
@@ -120,10 +125,17 @@ func (r *SubmitRequest) resolve(base sim.Params) (resolved, error) {
 	if err != nil {
 		return resolved{}, err
 	}
-	if r.Workload == "" {
+	var wl workloadspec.Workload
+	switch {
+	case r.WorkloadSpec != nil && r.Workload != "":
+		return resolved{}, fmt.Errorf("serve: set workload or workload_spec, not both")
+	case r.WorkloadSpec != nil:
+		wl, err = workloadspec.ResolveWorkload(*r.WorkloadSpec)
+	case r.Workload != "":
+		wl, err = workloadspec.ParseWorkload(r.Workload)
+	default:
 		return resolved{}, fmt.Errorf("serve: a workload is required")
 	}
-	wcfg, err := workload.ByName(r.Workload)
 	if err != nil {
 		return resolved{}, err
 	}
@@ -143,8 +155,8 @@ func (r *SubmitRequest) resolve(base sim.Params) (resolved, error) {
 		return resolved{}, fmt.Errorf("serve: unknown priority %q (have: %s, %s)", prio, Interactive, Batch)
 	}
 	return resolved{
-		design: d, wcfg: wcfg, params: p, priority: prio,
-		key: runner.Key(p, wcfg, d.Name),
+		design: d, wl: wl, params: p, priority: prio,
+		key: runner.WorkloadKey(p, wl, d.Name),
 	}, nil
 }
 

@@ -10,7 +10,7 @@ import (
 
 	"ubscache/internal/obs"
 	"ubscache/internal/sim"
-	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 // Job is one submitted simulation: its resolved spec, lifecycle state,
@@ -22,7 +22,7 @@ type Job struct {
 	key      string
 	priority Priority
 	design   sim.Design
-	wcfg     workload.Config
+	wl       workloadspec.Workload
 	params   sim.Params
 
 	ctx    context.Context
@@ -74,7 +74,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.id, State: j.state, Priority: j.priority,
-		Design: j.design.Name, Workload: j.wcfg.Name, Key: j.key,
+		Design: j.design.Name, Workload: j.wl.Name, Key: j.key,
 		Warmup: j.params.Warmup, Measure: j.params.Measure,
 		SubmittedAt: j.submittedAt, Heartbeats: j.beats,
 		FromCache: j.fromCache,

@@ -191,7 +191,7 @@ func (s *sched) run(j *Job) {
 	// observe contexts).
 	ch := make(chan outcome, 1)
 	go func() {
-		res, shared, err := s.store.RunContextShared(j.ctx, params, j.wcfg, j.design.Name, j.design.Factory)
+		res, shared, err := s.store.RunWorkloadShared(j.ctx, params, j.wl, j.design.Name, j.design.Factory)
 		ch <- outcome{res: res, shared: shared, err: err}
 	}()
 	var o outcome

@@ -118,7 +118,7 @@ func (s *Server) Submit(req SubmitRequest) (*Job, error) {
 	ctx, cancel := context.WithCancel(s.base)
 	j := &Job{
 		key: rv.key, priority: rv.priority,
-		design: rv.design, wcfg: rv.wcfg, params: rv.params,
+		design: rv.design, wl: rv.wl, params: rv.params,
 		ctx: ctx, cancel: cancel,
 		log:   newEventLog(),
 		state: JobQueued, submittedAt: time.Now(),

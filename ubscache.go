@@ -23,6 +23,7 @@ package ubscache
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"ubscache/internal/exp"
@@ -35,6 +36,7 @@ import (
 	"ubscache/internal/trace"
 	"ubscache/internal/ubs"
 	"ubscache/internal/workload"
+	"ubscache/internal/workloadspec"
 )
 
 // WorkloadConfig parameterises a synthetic workload (see the workload
@@ -57,11 +59,57 @@ const (
 	FamilyX86Server = workload.FamilyX86Server
 )
 
+// WorkloadSpec is the declarative, JSON-serializable workload description
+// used by sweep specs and ResolveWorkload: a registered kind ("preset",
+// "config", "mix", "champsim", "trace") plus kind-specific configuration
+// — the workload-side mirror of DesignSpec.
+type WorkloadSpec = workloadspec.Spec
+
+// ResolvedWorkload is a resolved WorkloadSpec: a named instruction-stream
+// factory ready to simulate (see SimulateWorkload). Generator-backed
+// workloads additionally expose their synthetic WorkloadConfig through
+// its Config method.
+type ResolvedWorkload = workloadspec.Workload
+
+// ParseWorkload resolves a workload shorthand — the same grammar as
+// `ubsim -workload` (a bare preset name, preset:server_003,
+// mix:clients.yaml, champsim:trace.gz, trace:a.ubst, or an inline JSON
+// WorkloadSpec starting with '{') — symmetric to ParseDesign.
+func ParseWorkload(name string) (ResolvedWorkload, error) {
+	return workloadspec.ParseWorkload(name)
+}
+
+// ResolveWorkload materialises a declarative WorkloadSpec.
+func ResolveWorkload(spec WorkloadSpec) (ResolvedWorkload, error) {
+	return workloadspec.ResolveWorkload(spec)
+}
+
+// WorkloadKinds lists the registered workload kinds, sorted.
+func WorkloadKinds() []string { return workloadspec.WorkloadKinds() }
+
 // Workload resolves a preset workload by name (e.g. "server_003"); see
 // WorkloadNames.
-func Workload(name string) (WorkloadConfig, error) { return workload.ByName(name) }
+//
+// Deprecated: use ParseWorkload, which accepts the same names plus every
+// other registry shorthand. Workload only reaches generator-backed
+// workloads and cannot express mixes or trace replays.
+func Workload(name string) (WorkloadConfig, error) {
+	w, err := workloadspec.ParseWorkload(name)
+	if err != nil {
+		return WorkloadConfig{}, err
+	}
+	cfg, ok := w.Config()
+	if !ok {
+		return WorkloadConfig{}, fmt.Errorf("ubscache: workload %q is not generator-backed; use ParseWorkload + SimulateWorkload", name)
+	}
+	return cfg, nil
+}
 
 // WorkloadNames lists the preset workloads of a family.
+//
+// Deprecated: preset names are ParseWorkload shorthands; new code should
+// enumerate presets only for discovery and address workloads through the
+// registry.
 func WorkloadNames(f Family) []string { return workload.Names(f) }
 
 // Families lists all workload families.
@@ -267,6 +315,18 @@ func SimulateSource(d Design, src Source, name string, opts Options) (Report, er
 // SimulateContext).
 func SimulateSourceContext(ctx context.Context, d Design, src Source, name string, opts Options) (Report, error) {
 	return sim.RunSourceContext(ctx, opts, src, name, d.Name, d.factory)
+}
+
+// SimulateWorkload runs a resolved registry workload — preset, explicit
+// config, multi-client mix, or imported trace — on a design.
+func SimulateWorkload(d Design, w ResolvedWorkload, opts Options) (Report, error) {
+	return workloadspec.Run(context.Background(), opts, w, d.Name, d.factory)
+}
+
+// SimulateWorkloadContext is SimulateWorkload honouring ctx (see
+// SimulateContext).
+func SimulateWorkloadContext(ctx context.Context, d Design, w ResolvedWorkload, opts Options) (Report, error) {
+	return workloadspec.Run(ctx, opts, w, d.Name, d.factory)
 }
 
 // ExperimentIDs lists the reproducible paper artifacts (fig1..fig16,
