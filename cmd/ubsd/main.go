@@ -15,11 +15,17 @@
 //	# fetch the result / cancel
 //	curl -s localhost:8337/jobs/job-000001/result
 //	curl -s -X DELETE localhost:8337/jobs/job-000001
+//	# park a running job and bring it back later (with -checkpoint-every
+//	# its partial progress persists and the retry resumes from disk)
+//	curl -s -X POST localhost:8337/jobs/job-000001/suspend
+//	curl -s -X POST localhost:8337/jobs/job-000001/resume
 //
 // Service behavior under load: each priority class ("interactive" >
 // "batch") has a bounded queue, and submissions beyond the bound are
 // rejected immediately with 429 + Retry-After instead of queueing without
-// limit. SIGTERM/SIGINT begin a graceful drain — /readyz flips to 503,
+// limit. An interactive arrival that finds every worker busy preempts a
+// running batch job — suspended, not cancelled — and the scheduler
+// resumes it once a worker frees up. SIGTERM/SIGINT begin a graceful drain — /readyz flips to 503,
 // admission stops, queued and in-flight jobs finish (force-cancelled only
 // after -drain-timeout) — and the process exits 0. Service metrics (queue
 // depth, jobs in-flight, per-priority admission/rejection counters,
@@ -55,12 +61,20 @@ func run() int {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on saturation rejections")
 		cacheDir     = flag.String("cache", "", "disk-resumable result cache directory (empty = memory only)")
 		hbEvery      = flag.Uint64("hb", 0, "per-job heartbeat period in cycles (0 = the sampling interval)")
+		ckEvery      = flag.Uint64("checkpoint-every", 0, "checkpoint in-flight simulations every N measured instructions so suspended or killed jobs resume from disk (0 = off; requires -cache)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget before in-flight jobs are force-cancelled")
 	)
 	flag.Parse()
 
+	if *ckEvery > 0 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "ubsd: -checkpoint-every requires -cache")
+		return 2
+	}
+	store := runner.NewStore(*cacheDir)
+	store.CheckpointEvery = *ckEvery
+
 	srv := serve.New(serve.Config{
-		Store:            runner.NewStore(*cacheDir),
+		Store:            store,
 		Workers:          *workers,
 		InteractiveBound: *qInteractive,
 		BatchBound:       *qBatch,

@@ -24,6 +24,15 @@
 // /metrics, JSON at /vars) while the run is in flight; -hb sets the
 // heartbeat period in cycles. SIGINT/SIGTERM cancel the run cleanly at the
 // next heartbeat, flushing the manifest with the partial state.
+//
+// Checkpointing: -checkpoint-every N writes a resumable checkpoint to
+// -checkpoint-dir every N measured instructions (and once more on
+// SIGINT/SIGTERM); -resume FILE rebuilds the machine from a checkpoint
+// in a fresh process and runs it to completion, with final stats
+// byte-identical to the uninterrupted run:
+//
+//	ubsim -workload server_003 -design ubs -checkpoint-every 1000000
+//	ubsim -resume server_003-ubs.ubsc
 package main
 
 import (
@@ -33,10 +42,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 
+	"ubscache/internal/checkpoint"
 	"ubscache/internal/core"
 	"ubscache/internal/icache"
 	"ubscache/internal/obs"
@@ -64,6 +76,9 @@ func run() int {
 		hbEvery   = flag.Uint64("hb", 0, "heartbeat period in cycles (0 = the sampling interval)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		ckEvery   = flag.Uint64("checkpoint-every", 0, "write a resumable checkpoint every N measured instructions (0 = off)")
+		ckDir     = flag.String("checkpoint-dir", ".", "directory for checkpoint files written by -checkpoint-every")
+		resume    = flag.String("resume", "", "resume a run from this checkpoint file instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -137,8 +152,38 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *resume != "" {
+		// A checkpoint file is self-describing (workload, design, params);
+		// only the observer wiring and checkpoint cadence come from flags.
+		r, err := checkpoint.Resume(ctx, *resume, checkpoint.ResumeOptions{
+			Observer:       params.Observer,
+			HeartbeatEvery: *hbEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer r.Close()
+		fmt.Fprintf(os.Stderr, "ubsim: resuming %s on %s at instruction %d\n",
+			r.Meta.WorkloadName, r.Meta.Design, r.Meta.Instructions)
+		save := func([]byte) error { return nil }
+		if *ckEvery > 0 {
+			save = func(data []byte) error { return checkpoint.WriteFileAtomic(*resume, data) }
+		}
+		res, err := checkpoint.Complete(r.Machine, r.Meta, *ckEvery, save)
+		if err != nil {
+			return reportRunErr(err, *statsJSON)
+		}
+		printResult(res)
+		return 0
+	}
+
 	var res sim.Result
 	if *traceFile != "" {
+		if *ckEvery > 0 {
+			fmt.Fprintln(os.Stderr, "ubsim: -checkpoint-every needs a restartable workload; use -workload trace:FILE instead of -trace")
+			return 2
+		}
 		r, err := trace.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -155,13 +200,56 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		res, err = workloadspec.Run(ctx, params, w, d.Name, d.Factory)
-		if err != nil {
-			return reportRunErr(err, *statsJSON)
+		if *ckEvery > 0 {
+			ckPath := filepath.Join(*ckDir, sanitize(*wl)+"-"+sanitize(*design)+".ubsc")
+			fmt.Fprintf(os.Stderr, "ubsim: checkpointing every %d instructions to %s\n", *ckEvery, ckPath)
+			src, err := w.NewSource()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if c, ok := src.(interface{ Close() error }); ok {
+				defer c.Close()
+			}
+			m, err := sim.NewMachine(ctx, params, src, w.Name, d.Name, d.Factory)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			meta := checkpoint.Meta{Workload: w.Spec, WorkloadName: w.Name, Design: *design, Params: params}
+			// The checkpoint is kept after success so a longer follow-up run
+			// (or the CI smoke test) can still resume from the file.
+			res, err = checkpoint.Complete(m, meta, *ckEvery, func(data []byte) error {
+				return checkpoint.WriteFileAtomic(ckPath, data)
+			})
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					fmt.Fprintf(os.Stderr, "ubsim: resume with: ubsim -resume %s\n", ckPath)
+				}
+				return reportRunErr(err, *statsJSON)
+			}
+		} else {
+			res, err = workloadspec.Run(ctx, params, w, d.Name, d.Factory)
+			if err != nil {
+				return reportRunErr(err, *statsJSON)
+			}
 		}
 	}
 	printResult(res)
 	return 0
+}
+
+// sanitize maps a workload or design spec to a filesystem-safe filename
+// fragment (inline JSON specs and file paths contain separators).
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, s)
 }
 
 // reportRunErr distinguishes a clean signal-driven cancellation (partial

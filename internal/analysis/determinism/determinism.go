@@ -50,9 +50,13 @@ var Analyzer = &analysis.Analyzer{
 // interleaving draws from mix seeds) and internal/trace (the ChampSim
 // decode path feeds simulations byte-for-byte) joined the scope when
 // workload resolution became part of the result identity.
+// internal/checkpoint and internal/snap joined when resume entered the
+// result path: a wall-clock or global-rand read there would break the
+// byte-identity contract between resumed and uninterrupted runs.
 var scope = []string{
 	"internal/sim", "internal/exp", "internal/runner", "internal/obs",
 	"internal/serve", "internal/workloadspec", "internal/trace",
+	"internal/checkpoint", "internal/snap",
 }
 
 // seededConstructors are the math/rand package-level functions that build

@@ -1,0 +1,221 @@
+// Package snapstate guards the checkpoint round-trip contract of the
+// simulator's state structs at compile time.
+//
+// A struct marked `//ubs:state` is the serialized image of one layer's
+// mutable state: Snapshot(dst *T) must fill every field and Restore(src
+// *T) must consume every field, or a checkpoint silently drops part of
+// the machine and a resumed run diverges from the uninterrupted one —
+// the exact corruption the byte-identity golden tests exist to catch,
+// except discovered at build time instead of replay time. For every
+// field of a marked struct the analyzer requires
+//
+//   - the field is exported — the snap codec refuses unexported fields,
+//     so an unexported one fails at the first checkpoint write; and
+//   - a `dst.F`/`src.F` selector reference in BOTH the Snapshot and the
+//     Restore body that take *T (directly, through an index expression,
+//     or via &dst.F passed to a nested Snapshot) — a field referenced in
+//     neither is state that was added to the image but never wired up.
+//
+// Fields tagged `snap:"-"` are scratch the codec skips and are exempt.
+// A marked struct with no Snapshot or no Restore method in its package
+// is itself a diagnostic: the marker promises a round trip.
+package snapstate
+
+import (
+	"go/ast"
+	"go/token"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the snapstate rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapstate",
+	Doc:  "every field of a //ubs:state struct must be written by Snapshot and read by Restore",
+	Run:  run,
+}
+
+// marker is the magic comment identifying a checkpointable state struct.
+const marker = "ubs:state"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	type stateDecl struct {
+		spec   *ast.TypeSpec
+		fields *ast.StructType
+	}
+	decls := map[string]stateDecl{}
+	// snapRefs/restoreRefs collect, per marked type, the fields its
+	// Snapshot/Restore bodies reference through the *T parameter.
+	snapRefs := map[string]map[string]bool{}
+	restoreRefs := map[string]map[string]bool{}
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if hasMarker(ts.Doc) || (len(gd.Specs) == 1 && hasMarker(gd.Doc)) {
+					decls[ts.Name.Name] = stateDecl{spec: ts, fields: st}
+				}
+			}
+		}
+	}
+	if len(decls) == 0 {
+		return nil, nil
+	}
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var refs map[string]map[string]bool
+			switch fd.Name.Name {
+			case "Snapshot":
+				refs = snapRefs
+			case "Restore":
+				refs = restoreRefs
+			default:
+				continue
+			}
+			// The state struct is the method's *T parameter (dst for
+			// Snapshot, src for Restore).
+			for _, param := range fd.Type.Params.List {
+				tname := pointeeName(param.Type)
+				if _, marked := decls[tname]; !marked {
+					continue
+				}
+				for _, pname := range param.Names {
+					if refs[tname] == nil {
+						refs[tname] = map[string]bool{}
+					}
+					collectRefs(fd.Body, pname.Name, refs[tname])
+				}
+			}
+		}
+	}
+
+	for name, decl := range decls {
+		snap, hasSnap := snapRefs[name]
+		restore, hasRestore := restoreRefs[name]
+		if !hasSnap {
+			pass.Reportf(decl.spec.Name.Pos(),
+				"//ubs:state struct %s has no Snapshot method taking *%s: the marker promises a checkpoint round trip", name, name)
+		}
+		if !hasRestore {
+			pass.Reportf(decl.spec.Name.Pos(),
+				"//ubs:state struct %s has no Restore method taking *%s: the marker promises a checkpoint round trip", name, name)
+		}
+		for _, field := range decl.fields.Fields.List {
+			if skippedByTag(field) {
+				continue
+			}
+			for _, fname := range fieldNames(field) {
+				if !ast.IsExported(fname.Name) {
+					pass.Reportf(fname.Pos(),
+						"%s.%s is unexported: the snap codec rejects unexported fields, so the first checkpoint write fails",
+						name, fname.Name)
+					continue
+				}
+				if hasSnap && !snap[fname.Name] {
+					pass.Reportf(fname.Pos(),
+						"%s.%s is never written by Snapshot: the checkpoint image would miss it and a resumed run diverges",
+						name, fname.Name)
+				}
+				if hasRestore && !restore[fname.Name] {
+					pass.Reportf(fname.Pos(),
+						"%s.%s is never read by Restore: the restored machine would miss it and a resumed run diverges",
+						name, fname.Name)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasMarker reports whether a doc comment carries //ubs:state.
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// skippedByTag reports whether the field is tagged snap:"-" (codec
+// scratch, exempt from the round-trip requirement).
+func skippedByTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	tag, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	return reflect.StructTag(tag).Get("snap") == "-"
+}
+
+// fieldNames returns the declared names of a struct field, treating an
+// embedded field's type name as its field name.
+func fieldNames(field *ast.Field) []*ast.Ident {
+	if len(field.Names) > 0 {
+		return field.Names
+	}
+	t := field.Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return []*ast.Ident{t}
+	case *ast.SelectorExpr:
+		return []*ast.Ident{t.Sel}
+	}
+	return nil
+}
+
+// pointeeName returns T for an expression of shape *T, or "".
+func pointeeName(t ast.Expr) string {
+	se, ok := t.(*ast.StarExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := se.X.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// collectRefs records every field referenced as param.F anywhere in the
+// body — assignments, reads, &param.F arguments, param.F[i] element
+// access, or param.F.Method(...) delegation all count.
+func collectRefs(body *ast.BlockStmt, param string, out map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == param {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+}

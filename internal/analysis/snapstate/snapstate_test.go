@@ -1,0 +1,15 @@
+package snapstate_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+// TestSnapstateFixtures runs the analyzer over a fixture module whose
+// want comments pin every diagnostic: fields Snapshot forgets, fields
+// Restore forgets, unexported fields the codec rejects, snap:"-"
+// exemptions, and marked structs with no round trip at all.
+func TestSnapstateFixtures(t *testing.T) {
+	linttest.Run(t, "snapstate", "testdata/mod")
+}

@@ -1,0 +1,67 @@
+// Package a exercises the snapstate violations: fields a checkpoint
+// image would miss, fields a restore would miss, unexported fields the
+// codec rejects, and markers without a round trip.
+package a
+
+// Sub is a nested state struct with its own round trip.
+//
+//ubs:state
+type Sub struct{ N uint64 }
+
+// SubOwner carries the live state Sub mirrors.
+type SubOwner struct{ n uint64 }
+
+// Snapshot fills a Sub image.
+func (o *SubOwner) Snapshot(dst *Sub) { dst.N = o.n }
+
+// Restore installs a Sub image.
+func (o *SubOwner) Restore(src *Sub) { o.n = src.N }
+
+// Owner carries the live state State mirrors.
+type Owner struct {
+	sub     SubOwner
+	clock   uint64
+	history uint32
+	samples []float64
+	scratch []int
+}
+
+// State is the full checkpoint image. Snapshot below forgets History,
+// Restore forgets Samples, and neither touches Orphan.
+//
+//ubs:state
+type State struct {
+	Clock   uint64
+	History uint32    // want `State.History is never written by Snapshot`
+	Samples []float64 // want `State.Samples is never read by Restore`
+	Sub     Sub
+	hidden  uint64 // want `State.hidden is unexported`
+	Scratch []int  `snap:"-"` // codec-skipped: exempt from both rules
+	Orphan  uint64 // want `State.Orphan is never written by Snapshot` `State.Orphan is never read by Restore`
+}
+
+// Fill has a *State parameter but the wrong name: only methods named
+// Snapshot/Restore count toward the round trip.
+func (o *Owner) Fill(dst *State) { dst.History = o.history }
+
+// Snapshot covers Clock, Samples (append through the reused backing),
+// and Sub (a &dst.Sub nested delegate) — not History, not Orphan.
+func (o *Owner) Snapshot(dst *State) {
+	dst.Clock = o.clock
+	dst.Samples = append(dst.Samples[:0], o.samples...)
+	o.sub.Snapshot(&dst.Sub)
+}
+
+// Restore covers Clock, History, and Sub — not Samples, not Orphan.
+func (o *Owner) Restore(src *State) {
+	o.clock = src.Clock
+	o.history = src.History
+	o.sub.Restore(&src.Sub)
+}
+
+// Bare is marked but never wired up.
+//
+//ubs:state
+type Bare struct { // want `has no Snapshot method` `has no Restore method`
+	X uint64
+}

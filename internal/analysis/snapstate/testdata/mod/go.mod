@@ -1,0 +1,3 @@
+module snapstate.example
+
+go 1.22

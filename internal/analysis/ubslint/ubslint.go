@@ -1,7 +1,8 @@
 // Package ubslint assembles the repository's invariant analyzers — the
 // go/analysis suite that compiles the simulator's methodological
 // assumptions (single miss path, exhaustive stat accounting, trace
-// determinism, allocation-free hot loops, consistent atomicity) into
+// determinism, allocation-free hot loops, consistent atomicity,
+// checkpoint round-trip completeness) into
 // rules checked on every build. cmd/ubslint wires the suite into
 // `go vet -vettool` and CI; the suite self-applies cleanly to this tree
 // (see TestSuiteSelfApplication).
@@ -14,6 +15,7 @@ import (
 	"ubscache/internal/analysis/determinism"
 	"ubscache/internal/analysis/hotpathalloc"
 	"ubscache/internal/analysis/misspath"
+	"ubscache/internal/analysis/snapstate"
 	"ubscache/internal/analysis/statsexhaustive"
 )
 
@@ -24,6 +26,7 @@ func Analyzers() []*analysis.Analyzer {
 		determinism.Analyzer,
 		hotpathalloc.Analyzer,
 		misspath.Analyzer,
+		snapstate.Analyzer,
 		statsexhaustive.Analyzer,
 	}
 }

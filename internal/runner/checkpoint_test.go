@@ -1,0 +1,159 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+
+	"ubscache/internal/checkpoint"
+	"ubscache/internal/sim"
+	"ubscache/internal/workloadspec"
+)
+
+func ckTestParams() sim.Params {
+	p := sim.DefaultParams()
+	p.Warmup = 5_000
+	p.Measure = 20_000
+	p.SampleInterval = 2_000
+	return p
+}
+
+// TestStoreCheckpointedRun pins the crash-safe sweep path end to end: a
+// killed run leaves a checkpoint behind, a retrying Store resumes it
+// instead of recomputing, the final result is byte-identical to an
+// uninterrupted run, and success cleans the checkpoint up.
+func TestStoreCheckpointedRun(t *testing.T) {
+	p := ckTestParams()
+	w, err := workloadspec.ParseWorkload("server_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sim.ParseDesign("ubs")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := workloadspec.Run(context.Background(), p, w, "ubs", d.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s := NewStore(dir)
+	s.CheckpointEvery = 4_000
+	key := WorkloadKey(p, w, "ubs")
+
+	// Simulate a crash: drive part of the run, persisting checkpoints,
+	// then abandon it mid-measure. The design string "ubs" is
+	// ParseDesign-able, so the retry below can resume it.
+	hb := p
+	hb.HeartbeatEvery = 500
+	ctx, cancel := context.WithCancel(context.Background())
+	src, err := w.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(ctx, hb, src, w.Name, "ubs", d.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := checkpoint.Meta{Workload: w.Spec, WorkloadName: w.Name, Design: "ubs", Params: p}
+	_, err = checkpoint.Complete(m, meta, s.CheckpointEvery, func(data []byte) error {
+		cancel()
+		return writeFileAtomic(s.ckPath(key), data)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := os.Stat(s.ckPath(key)); err != nil {
+		t.Fatalf("interrupted run left no checkpoint: %v", err)
+	}
+
+	// The retrying Store resumes from the checkpoint and converges to
+	// the uninterrupted result.
+	res, err := s.RunWorkloadContext(context.Background(), p, w, "ubs", d.Factory)
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("resumed sweep point diverged:\n got:  %s\n want: %s", got, want)
+	}
+	if _, err := os.Stat(s.ckPath(key)); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after success (err=%v)", err)
+	}
+
+	// And the result was persisted to the ordinary disk cache.
+	if _, _, ok := s.loadDisk(key); !ok {
+		t.Error("result missing from disk cache after checkpointed run")
+	}
+}
+
+// TestStoreCheckpointedFresh pins that checkpointing changes nothing
+// when no checkpoint exists: same bytes as a plain run.
+func TestStoreCheckpointedFresh(t *testing.T) {
+	p := ckTestParams()
+	w, err := workloadspec.ParseWorkload("client_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sim.ParseDesign("conv:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := workloadspec.Run(context.Background(), p, w, "conv:32", d.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(ref)
+
+	s := NewStore(t.TempDir())
+	s.CheckpointEvery = 7_000
+	res, err := s.RunWorkloadContext(context.Background(), p, w, "conv:32", d.Factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(res)
+	if string(got) != string(want) {
+		t.Errorf("checkpointed fresh run diverged:\n got:  %s\n want: %s", got, want)
+	}
+	if _, err := os.Stat(s.ckPath(WorkloadKey(p, w, "conv:32"))); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after success (err=%v)", err)
+	}
+}
+
+// TestStoreCorruptCheckpointFallsBack pins that a damaged checkpoint is
+// discarded and the point recomputed from scratch, not failed.
+func TestStoreCorruptCheckpointFallsBack(t *testing.T) {
+	p := ckTestParams()
+	w, err := workloadspec.ParseWorkload("server_001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sim.ParseDesign("conv:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(t.TempDir())
+	s.CheckpointEvery = 7_000
+	key := WorkloadKey(p, w, "conv:32")
+	if err := os.WriteFile(s.ckPath(key), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunWorkloadContext(context.Background(), p, w, "conv:32", d.Factory)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint should fall back, got %v", err)
+	}
+	if res.Core.Instructions < p.Measure {
+		t.Errorf("fresh fallback ran %d < %d instructions", res.Core.Instructions, p.Measure)
+	}
+}

@@ -73,6 +73,14 @@ type flight struct {
 type Store struct {
 	// Dir persists results under <Dir>/<key>.json when non-empty.
 	Dir string
+	// CheckpointEvery enables crash-safe checkpointing of uncached
+	// computations: a checkpoint is written to <Dir>/<key>.ubsc every
+	// CheckpointEvery measured instructions (atomic rename,
+	// content-keyed like the result cache), and a run that finds an
+	// existing checkpoint for its key resumes from it instead of
+	// starting over. 0 disables; requires a non-empty Dir. Injection
+	// seams (SimWorkload, SimContext, Sim) bypass checkpointing.
+	CheckpointEvery uint64
 	// Sim runs one simulation; nil means sim.Run (tests inject stubs). It
 	// only sees generator-backed workloads; SimWorkload covers all kinds.
 	Sim func(p sim.Params, wcfg workload.Config, design string, factory sim.FrontendFactory) (sim.Result, error)
@@ -181,7 +189,7 @@ func (s *Store) compute(ctx context.Context, key string, p sim.Params, w workloa
 	}
 	//ubs:wallclock RunMeta.Seconds cache metadata, not a simulated quantity
 	t0 := time.Now()
-	res, err := s.simulate(ctx, p, w, design, factory)
+	res, err := s.simulate(ctx, key, p, w, design, factory)
 	if err != nil {
 		return sim.Result{}, RunMeta{}, err
 	}
@@ -195,8 +203,10 @@ func (s *Store) compute(ctx context.Context, key string, p sim.Params, w workloa
 // precedence order: SimWorkload sees every kind; SimContext and Sim keep
 // their historical workload.Config signature and so only see
 // generator-backed workloads (source-backed kinds fall through to the
-// real simulation).
-func (s *Store) simulate(ctx context.Context, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (res sim.Result, err error) {
+// real simulation). With CheckpointEvery set and no seam installed, the
+// real simulation runs through the checkpointing driver instead, keyed
+// by the same content hash as the result cache entry.
+func (s *Store) simulate(ctx context.Context, key string, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runner: %s on %s panicked: %v", design, w.Name, r)
@@ -212,6 +222,9 @@ func (s *Store) simulate(ctx context.Context, p sim.Params, w workloadspec.Workl
 		if s.Sim != nil {
 			return s.Sim(p, cfg, design, factory)
 		}
+	}
+	if s.CheckpointEvery > 0 && s.Dir != "" {
+		return s.runCheckpointed(ctx, key, p, w, design, factory)
 	}
 	return workloadspec.Run(ctx, p, w, design, factory)
 }

@@ -51,14 +51,24 @@ func (p Priority) valid() bool { return p == Interactive || p == Batch }
 // JobState is one node of the job lifecycle state machine:
 //
 //	queued ──→ running ──→ done | failed
+//	   ↑           │
+//	   │           ↓
+//	   └────── suspended
 //	   │           │
 //	   └───────────┴─────→ cancelled
+//
+// A running job can be suspended — preempted by the scheduler to make
+// room for interactive work, or parked explicitly via the API — and a
+// suspended job re-enters the queue (suspended → queued) when resumed.
+// With store checkpointing enabled, the suspended attempt's partial
+// progress persists on disk and the next attempt resumes from it.
 type JobState string
 
 // The job states.
 const (
 	JobQueued    JobState = "queued"
 	JobRunning   JobState = "running"
+	JobSuspended JobState = "suspended"
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"

@@ -17,6 +17,8 @@ import (
 //	GET    /jobs/{id}         one job's status
 //	DELETE /jobs/{id}         cancel
 //	GET    /jobs/{id}/events  SSE progress stream (status/heartbeat/end)
+//	POST   /jobs/{id}/suspend park a running job (resumable preemption)
+//	POST   /jobs/{id}/resume  requeue a suspended job
 //	GET    /jobs/{id}/result  completed result JSON
 //	GET    /designs           registered design kinds
 //	GET    /workloads         preset workloads by family
@@ -28,6 +30,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/suspend", s.handleSuspend)
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /designs", s.handleDesigns)
@@ -116,6 +120,32 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, _, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
+	j, ok, err := s.Suspend(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusConflict, apiError{Error: "serve: job is not running"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j, ok, err := s.Resume(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusConflict, apiError{Error: "serve: job is not suspended"})
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())

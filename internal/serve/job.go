@@ -29,8 +29,11 @@ type Job struct {
 	cancel context.CancelFunc
 	log    *eventLog
 
-	mu          sync.Mutex
-	state       JobState
+	mu    sync.Mutex
+	state JobState
+	// runCancel aborts the current execution attempt only (suspension);
+	// cancel above is the job's lifetime and is terminal.
+	runCancel   context.CancelFunc
 	err         error
 	result      *sim.Result
 	resultJSON  []byte
@@ -102,18 +105,59 @@ func (j *Job) emitStatus() {
 	j.log.append(Event{Type: "status", Data: data})
 }
 
-// begin transitions queued → running; false means the job was cancelled
-// while queued and must not run.
+// beginAttempt transitions queued → running and returns a per-attempt
+// context: cancelling it (suspension) unwinds only this execution
+// attempt, while the job's own ctx stays live for a later resume. A
+// false return means the job was cancelled while queued and must not
+// run. startedAt records the first attempt only, so suspend/resume
+// round-trips do not rewrite the job's history.
 //
 //ubs:wallclock job start timestamp, API metadata only
-func (j *Job) begin() bool {
+func (j *Job) beginAttempt() (context.Context, bool) {
 	j.mu.Lock()
 	if j.state != JobQueued {
 		j.mu.Unlock()
-		return false
+		return nil, false
 	}
 	j.state = JobRunning
-	j.startedAt = time.Now()
+	runCtx, runCancel := context.WithCancel(j.ctx)
+	j.runCancel = runCancel
+	if j.startedAt.IsZero() {
+		j.startedAt = time.Now()
+	}
+	j.mu.Unlock()
+	j.emitStatus()
+	return runCtx, true
+}
+
+// suspend transitions running → suspended and aborts the current
+// execution attempt; false means the job was not running.
+func (j *Job) suspend() bool {
+	j.mu.Lock()
+	if j.state != JobRunning {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = JobSuspended
+	runCancel := j.runCancel
+	j.runCancel = nil
+	j.mu.Unlock()
+	if runCancel != nil {
+		runCancel()
+	}
+	j.emitStatus()
+	return true
+}
+
+// requeue transitions suspended → queued for the next attempt; false
+// means the job was not suspended (e.g. cancelled while parked).
+func (j *Job) requeue() bool {
+	j.mu.Lock()
+	if j.state != JobSuspended {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = JobQueued
 	j.mu.Unlock()
 	j.emitStatus()
 	return true

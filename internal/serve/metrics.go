@@ -21,6 +21,7 @@ var jobSecondsBounds = []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300}
 //	jobs_rejected_{interactive,batch}   counters
 //	jobs_{done,failed,cancelled}        counters
 //	jobs_deduped                        counter (results served by the store)
+//	jobs_suspended                      counter (preemptions + API suspends)
 //	job_seconds_<design>                per-design latency histograms
 type metrics struct {
 	reg       *obs.Registry
@@ -32,6 +33,7 @@ type metrics struct {
 	failed    *obs.Counter
 	cancelled *obs.Counter
 	deduped   *obs.Counter
+	suspended *obs.Counter
 }
 
 func newMetrics() *metrics {
@@ -55,6 +57,7 @@ func newMetrics() *metrics {
 		failed:    reg.Counter("jobs_failed"),
 		cancelled: reg.Counter("jobs_cancelled"),
 		deduped:   reg.Counter("jobs_deduped"),
+		suspended: reg.Counter("jobs_suspended"),
 	}
 	return m
 }

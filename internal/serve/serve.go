@@ -151,11 +151,45 @@ func (s *Server) Cancel(id string) (*Job, bool, error) {
 		}
 		return j, true, nil
 	}
+	if s.sched.unpark(j) {
+		// Suspended: no worker owns it, so finish it here. finish cancels
+		// the job context, which also keeps a racing resume from reviving
+		// it.
+		if j.finish(JobCancelled, nil, false, context.Canceled) {
+			s.metrics.finished(JobCancelled)
+		}
+		return j, true, nil
+	}
 	if j.State().Terminal() {
 		return j, false, nil
 	}
 	j.cancel()
 	return j, true, nil
+}
+
+// Suspend parks a running job: its execution attempt unwinds at the
+// next heartbeat boundary and the job waits in the suspended state
+// until Resume (or until a drain, which completes parked jobs rather
+// than stranding them). The job's partial progress survives on disk
+// when the store has checkpointing enabled. false means the job was not
+// running.
+func (s *Server) Suspend(id string) (*Job, bool, error) {
+	j, ok := s.reg.get(id)
+	if !ok {
+		return nil, false, fmt.Errorf("serve: no job %q", id)
+	}
+	return j, s.sched.park(j, true), nil
+}
+
+// Resume moves a suspended job back into its priority queue ahead of
+// the scheduler's own lazy resume. false means the job was not
+// suspended.
+func (s *Server) Resume(id string) (*Job, bool, error) {
+	j, ok := s.reg.get(id)
+	if !ok {
+		return nil, false, fmt.Errorf("serve: no job %q", id)
+	}
+	return j, s.sched.resume(j), nil
 }
 
 // Draining reports whether a drain has begun.

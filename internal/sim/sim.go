@@ -190,6 +190,10 @@ type Machine struct {
 
 	workload, design string
 
+	// src is the trace source feeding the FTQ, retained for the
+	// restore-by-replay fast-forward (see Restore).
+	src trace.Source
+
 	h   *mem.Hierarchy
 	ic  icache.Frontend
 	dc  *mem.DataCache
@@ -243,7 +247,8 @@ func NewMachine(ctx context.Context, p Params, src trace.Source, workloadName, d
 		p: p, ctx: ctx, cancellable: ctx.Done() != nil,
 		every:    heartbeatEvery(p),
 		workload: workloadName, design: design,
-		h: h, ic: ic, dc: dc, bp: bp, ftq: ftq, c: c,
+		src: src,
+		h:   h, ic: ic, dc: dc, bp: bp, ftq: ftq, c: c,
 		effStride: 1,
 	}
 	if p.SampleInterval > 0 {

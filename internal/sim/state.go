@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"ubscache/internal/bpu"
+	"ubscache/internal/core"
+	"ubscache/internal/fdip"
+	"ubscache/internal/icache"
+	"ubscache/internal/mem"
+	"ubscache/internal/trace"
+)
+
+// MachineState is the complete checkpointable image of a Machine: every
+// layer's state struct composed into one value that round-trips through
+// the deterministic snap codec. The contract is byte-level — snapshot
+// at instruction N, restore into a fresh Machine built from the same
+// Params/design/workload, run to completion, and the final stats are
+// byte-identical to an uninterrupted run.
+//
+// Two things are deliberately NOT part of the state:
+//
+//   - The trace source. Sources carry unserializable state (workload
+//     RNGs, open file readers), so restore replays instead: the FTQ's
+//     EnqueuedTot counts exactly the successful Next calls, and Restore
+//     fast-forwards a freshly opened source by that many instructions
+//     (trace.Skip).
+//   - Observer plumbing (the heartbeat schedule). Heartbeats never touch
+//     simulated state; Restore recomputes the next beat cycle from the
+//     restored clock so a resumed run beats on the same cycle grid.
+//
+// The file-format version lives in the checkpoint header (package
+// checkpoint), not here: MachineState's layout IS the format, and the
+// header version is bumped whenever any //ubs:state struct changes.
+//
+//ubs:state
+type MachineState struct {
+	Warmed     bool
+	ICWarm     icache.Stats
+	BPWarm     bpu.Stats
+	EffSamples []float64
+	EffStride  uint64
+	EffTick    uint64
+	NextSample uint64
+	Core       core.State
+	FTQ        fdip.State
+	BPU        bpu.State
+	// Frontend holds the design's snap-encoded state struct; the bytes
+	// are opaque here and only the same concrete frontend type decodes
+	// them (icache.Checkpointable).
+	Frontend  []byte
+	DataCache *mem.DataCacheState
+	Hierarchy mem.HierarchyState
+}
+
+// Snapshot copies the machine's complete mutable state into dst. The
+// machine must be warmed (checkpoints are taken mid-measurement; the
+// warmup phase is cheap to replay and carries the warmup/measure stat
+// baselines only once it completes). Snapshot never runs on the cycle
+// hot path — callers invoke it between Advance calls — so it may
+// allocate, though it reuses dst's backing storage across calls.
+func (m *Machine) Snapshot(dst *MachineState) error {
+	if !m.warmed {
+		return fmt.Errorf("sim: snapshot before warmup completed")
+	}
+	ck, ok := m.ic.(icache.Checkpointable)
+	if !ok {
+		return fmt.Errorf("sim: frontend %T is not checkpointable", m.ic)
+	}
+	dst.Warmed = m.warmed
+	dst.ICWarm = m.icWarm
+	dst.BPWarm = m.bpWarm
+	dst.EffSamples = append(dst.EffSamples[:0], m.effSamples...)
+	dst.EffStride = m.effStride
+	dst.EffTick = m.effTick
+	dst.NextSample = m.nextSample
+	m.c.Snapshot(&dst.Core)
+	m.ftq.Snapshot(&dst.FTQ)
+	m.bp.Snapshot(&dst.BPU)
+	fe, err := ck.SnapshotState()
+	if err != nil {
+		return err
+	}
+	dst.Frontend = fe
+	if m.dc == nil {
+		dst.DataCache = nil
+	} else {
+		if dst.DataCache == nil {
+			dst.DataCache = &mem.DataCacheState{}
+		}
+		m.dc.Snapshot(dst.DataCache)
+	}
+	m.h.Snapshot(&dst.Hierarchy)
+	return nil
+}
+
+// Restore installs a previously captured MachineState into a fresh
+// Machine built from the same Params, design, and workload. The
+// machine's trace source is fast-forwarded to the snapshot's replay
+// cursor, every layer's state is copied into its pre-sized backings,
+// and the observer (if any) is re-armed at the measure phase, so the
+// next Advance continues exactly where the snapshot left off.
+func (m *Machine) Restore(src *MachineState) error {
+	if m.warmed || m.c.Clock() != 0 {
+		return fmt.Errorf("sim: restore target must be a fresh machine")
+	}
+	if !src.Warmed {
+		return fmt.Errorf("sim: snapshot was taken before warmup completed")
+	}
+	ck, ok := m.ic.(icache.Checkpointable)
+	if !ok {
+		return fmt.Errorf("sim: frontend %T is not checkpointable", m.ic)
+	}
+	if (src.DataCache == nil) != (m.dc == nil) {
+		return fmt.Errorf("sim: snapshot and params disagree on data-cache modelling")
+	}
+	// Replay: position the fresh source on the instruction the FTQ would
+	// pull next. EnqueuedTot counts exactly the successful Next calls; a
+	// source that already ended (SourceDone) is restored via the flag
+	// alone, so no extra Next is needed here.
+	if err := trace.Skip(m.src, src.FTQ.EnqueuedTot); err != nil {
+		return err
+	}
+	if err := m.c.Restore(&src.Core); err != nil {
+		return err
+	}
+	if err := m.ftq.Restore(&src.FTQ); err != nil {
+		return err
+	}
+	if err := m.bp.Restore(&src.BPU); err != nil {
+		return err
+	}
+	if err := ck.RestoreState(src.Frontend); err != nil {
+		return err
+	}
+	if m.dc != nil {
+		if err := m.dc.Restore(src.DataCache); err != nil {
+			return err
+		}
+	}
+	if err := m.h.Restore(&src.Hierarchy); err != nil {
+		return err
+	}
+	m.icWarm = src.ICWarm
+	m.bpWarm = src.BPWarm
+	m.effSamples = append(m.effSamples[:0], src.EffSamples...)
+	m.effStride = src.EffStride
+	m.effTick = src.EffTick
+	m.nextSample = src.NextSample
+	m.warmed = src.Warmed
+	// Observer plumbing: re-enter the measure phase and recompute the
+	// heartbeat schedule against the restored clock. Beats fire exactly
+	// on multiples of the period, so the resumed run stays on the same
+	// cycle grid as the uninterrupted one.
+	m.st.startPhase("measure", m.p.Measure, m.icWarm, m.bpWarm)
+	if m.st != nil || m.cancellable {
+		m.nextHB = (m.c.Stats().Cycles/m.every + 1) * m.every
+	} else {
+		m.nextHB = 0
+	}
+	return nil
+}

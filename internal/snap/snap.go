@@ -1,0 +1,333 @@
+// Package snap is the deterministic binary codec behind machine
+// checkpoints. It encodes a closed universe of Go values — booleans,
+// fixed-width integers, floats, strings, slices, arrays, pointers to
+// structs, and structs of those — into a byte stream with no framing
+// ambiguity: every scalar is fixed-width little-endian, every slice and
+// string is length-prefixed, and struct fields serialize in declaration
+// order. Maps, channels, funcs, and interfaces are rejected so the
+// encoding of a value is a pure function of that value (no iteration
+// order, no wall clock, no addresses); two identical machine states
+// always produce identical bytes, which is what lets checkpoint files be
+// content-keyed and diffed.
+//
+// Fields tagged `snap:"-"` are skipped (scratch space that Restore
+// rebuilds). Unexported fields are an error rather than a silent skip:
+// state structs exist to be serialized, so a field the codec cannot see
+// is a checkpointing bug, not a convenience.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// Marshal encodes v (a struct or pointer to struct, but any supported
+// value works) into the deterministic binary form.
+func Marshal(v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return nil, fmt.Errorf("snap: cannot marshal nil pointer")
+		}
+		rv = rv.Elem()
+	}
+	var buf []byte
+	buf, err := encode(buf, rv)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes data into v, which must be a non-nil pointer to a
+// value of the same type that produced the bytes. Existing slice
+// capacity in *v is reused where possible. Trailing garbage and
+// truncation are both errors.
+func Unmarshal(data []byte, v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("snap: unmarshal target must be a non-nil pointer, got %T", v)
+	}
+	r := &reader{data: data}
+	if err := decode(r, rv.Elem()); err != nil {
+		return err
+	}
+	if r.off != len(data) {
+		return fmt.Errorf("snap: %d trailing bytes after value", len(data)-r.off)
+	}
+	return nil
+}
+
+func encode(buf []byte, v reflect.Value) ([]byte, error) {
+	switch v.Kind() {
+	case reflect.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		return append(buf, b), nil
+	case reflect.Int8:
+		return append(buf, byte(v.Int())), nil
+	case reflect.Int16:
+		return binary.LittleEndian.AppendUint16(buf, uint16(v.Int())), nil
+	case reflect.Int32:
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.Int())), nil
+	case reflect.Int64, reflect.Int:
+		// Platform int widens to 8 bytes so 32- and 64-bit hosts agree.
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.Int())), nil
+	case reflect.Uint8:
+		return append(buf, byte(v.Uint())), nil
+	case reflect.Uint16:
+		return binary.LittleEndian.AppendUint16(buf, uint16(v.Uint())), nil
+	case reflect.Uint32:
+		return binary.LittleEndian.AppendUint32(buf, uint32(v.Uint())), nil
+	case reflect.Uint64, reflect.Uint:
+		return binary.LittleEndian.AppendUint64(buf, v.Uint()), nil
+	case reflect.Float32:
+		return binary.LittleEndian.AppendUint32(buf, math.Float32bits(float32(v.Float()))), nil
+	case reflect.Float64:
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float())), nil
+	case reflect.String:
+		s := v.String()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		return append(buf, s...), nil
+	case reflect.Slice:
+		n := v.Len()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		var err error
+		for i := 0; i < n; i++ {
+			if buf, err = encode(buf, v.Index(i)); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case reflect.Array:
+		var err error
+		for i := 0; i < v.Len(); i++ {
+			if buf, err = encode(buf, v.Index(i)); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case reflect.Pointer:
+		if v.IsNil() {
+			return append(buf, 0), nil
+		}
+		buf = append(buf, 1)
+		return encode(buf, v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		var err error
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.Tag.Get("snap") == "-" {
+				continue
+			}
+			if !f.IsExported() {
+				return nil, fmt.Errorf("snap: %s.%s is unexported; state fields must be exported (or tagged snap:\"-\")", t, f.Name)
+			}
+			if buf, err = encode(buf, v.Field(i)); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("snap: unsupported kind %s (%s)", v.Kind(), v.Type())
+	}
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.data)-r.off < n {
+		return nil, fmt.Errorf("snap: truncated input (need %d bytes at offset %d of %d)", n, r.off, len(r.data))
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func decode(r *reader, v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		b, err := r.take(1)
+		if err != nil {
+			return err
+		}
+		switch b[0] {
+		case 0:
+			v.SetBool(false)
+		case 1:
+			v.SetBool(true)
+		default:
+			return fmt.Errorf("snap: invalid bool byte 0x%02x", b[0])
+		}
+		return nil
+	case reflect.Int8:
+		b, err := r.take(1)
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(int8(b[0])))
+		return nil
+	case reflect.Int16:
+		b, err := r.take(2)
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(int16(binary.LittleEndian.Uint16(b))))
+		return nil
+	case reflect.Int32:
+		b, err := r.take(4)
+		if err != nil {
+			return err
+		}
+		v.SetInt(int64(int32(binary.LittleEndian.Uint32(b))))
+		return nil
+	case reflect.Int64, reflect.Int:
+		b, err := r.take(8)
+		if err != nil {
+			return err
+		}
+		n := int64(binary.LittleEndian.Uint64(b))
+		if v.OverflowInt(n) {
+			return fmt.Errorf("snap: value %d overflows %s", n, v.Type())
+		}
+		v.SetInt(n)
+		return nil
+	case reflect.Uint8:
+		b, err := r.take(1)
+		if err != nil {
+			return err
+		}
+		v.SetUint(uint64(b[0]))
+		return nil
+	case reflect.Uint16:
+		b, err := r.take(2)
+		if err != nil {
+			return err
+		}
+		v.SetUint(uint64(binary.LittleEndian.Uint16(b)))
+		return nil
+	case reflect.Uint32:
+		b, err := r.take(4)
+		if err != nil {
+			return err
+		}
+		v.SetUint(uint64(binary.LittleEndian.Uint32(b)))
+		return nil
+	case reflect.Uint64, reflect.Uint:
+		b, err := r.take(8)
+		if err != nil {
+			return err
+		}
+		n := binary.LittleEndian.Uint64(b)
+		if v.OverflowUint(n) {
+			return fmt.Errorf("snap: value %d overflows %s", n, v.Type())
+		}
+		v.SetUint(n)
+		return nil
+	case reflect.Float32:
+		b, err := r.take(4)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(b))))
+		return nil
+	case reflect.Float64:
+		b, err := r.take(8)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(b)))
+		return nil
+	case reflect.String:
+		n, err := r.u32()
+		if err != nil {
+			return err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return err
+		}
+		v.SetString(string(b))
+		return nil
+	case reflect.Slice:
+		n32, err := r.u32()
+		if err != nil {
+			return err
+		}
+		n := int(n32)
+		// Every supported element costs at least one byte, so a length
+		// beyond the remaining input is corruption — reject it before
+		// allocating.
+		if n > len(r.data)-r.off {
+			return fmt.Errorf("snap: slice length %d exceeds remaining input", n)
+		}
+		if v.Cap() >= n {
+			v.SetLen(n)
+		} else {
+			v.Set(reflect.MakeSlice(v.Type(), n, n))
+		}
+		for i := 0; i < n; i++ {
+			if err := decode(r, v.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if err := decode(r, v.Index(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Pointer:
+		b, err := r.take(1)
+		if err != nil {
+			return err
+		}
+		switch b[0] {
+		case 0:
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		case 1:
+			if v.IsNil() {
+				v.Set(reflect.New(v.Type().Elem()))
+			}
+			return decode(r, v.Elem())
+		default:
+			return fmt.Errorf("snap: invalid pointer flag 0x%02x", b[0])
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.Tag.Get("snap") == "-" {
+				continue
+			}
+			if !f.IsExported() {
+				return fmt.Errorf("snap: %s.%s is unexported; state fields must be exported (or tagged snap:\"-\")", t, f.Name)
+			}
+			if err := decode(r, v.Field(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("snap: unsupported kind %s (%s)", v.Kind(), v.Type())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 
+	"ubscache/internal/checkpoint"
 	"ubscache/internal/exp"
 	"ubscache/internal/icache"
 	"ubscache/internal/mem"
@@ -327,6 +328,42 @@ func SimulateWorkload(d Design, w ResolvedWorkload, opts Options) (Report, error
 // SimulateContext).
 func SimulateWorkloadContext(ctx context.Context, d Design, w ResolvedWorkload, opts Options) (Report, error) {
 	return workloadspec.Run(ctx, opts, w, d.Name, d.factory)
+}
+
+// CheckpointMeta identifies what a checkpoint file resumes: the
+// declarative workload spec, the design shorthand, the full system
+// parameters, and the instruction position the image was taken at.
+type CheckpointMeta = checkpoint.Meta
+
+// ResumeRunOptions re-inject the process-local wiring a checkpoint
+// cannot carry (observer, heartbeat override).
+type ResumeRunOptions = checkpoint.ResumeOptions
+
+// ResumedRun is a simulation rebuilt from a checkpoint file: the
+// recorded workload re-resolved, its source fast-forwarded to the
+// replay cursor, and every simulator layer's state restored. Run it to
+// completion with CompleteRun and release the source with Close.
+type ResumedRun = checkpoint.Resumed
+
+// ResumeRun rebuilds a runnable simulation from the checkpoint at path
+// — the library form of `ubsim -resume`. The resumed run produces a
+// Report byte-identical to the uninterrupted run's.
+func ResumeRun(ctx context.Context, path string, opts ResumeRunOptions) (*ResumedRun, error) {
+	return checkpoint.Resume(ctx, path, opts)
+}
+
+// CompleteRun drives a resumed run to the end of its measured region,
+// handing an encoded checkpoint to save every `every` measured
+// instructions (0 disables checkpointing). Write the bytes with
+// WriteCheckpointAtomic so readers never observe a torn file.
+func CompleteRun(r *ResumedRun, every uint64, save func(data []byte) error) (Report, error) {
+	return checkpoint.Complete(r.Machine, r.Meta, every, save)
+}
+
+// WriteCheckpointAtomic persists encoded checkpoint bytes via a
+// same-directory temp file, fsync, and rename.
+func WriteCheckpointAtomic(path string, data []byte) error {
+	return checkpoint.WriteFileAtomic(path, data)
 }
 
 // ExperimentIDs lists the reproducible paper artifacts (fig1..fig16,
