@@ -1,0 +1,456 @@
+// Package ctxleak protects the concurrent serving layers — the job
+// daemon (internal/serve), the sweep scheduler (internal/runner), and
+// the observability surfaces (internal/obs) — against the two bug
+// classes that only surface under distributed load: goroutines nobody
+// can stop, and blocking channel operations nobody can cancel.
+//
+// Rule 1 — goroutine accountability. Every `go` statement must spawn
+// work that is joinable or cancellable: the spawned body (or callee)
+// must reference a context.Context, signal a sync.WaitGroup (Done),
+// or close a channel (the join-signal idiom). A fire-and-forget
+// goroutine with none of these outlives every shutdown path; under the
+// coming coordinator/worker fabric that is a leaked worker per lease.
+//
+// Rule 2 — cancellable blocking. A blocking send or receive on a
+// channel the analyzer cannot prove buffered must sit in a select that
+// also has an escape hatch: a `<-ctx.Done()` case, a receive on a
+// shutdown-named channel (done/stop/quit/drain/shutdown/closed), a
+// bounded `time.After`, or a default clause. Outside a select the
+// operation is accepted only when the channel is provably buffered
+// (a make with a non-zero constant in the same function) or provably
+// joined (the same function closes it — the completion-signal idiom),
+// or when it *is* the escape hatch (`<-ctx.Done()` itself). Ranging
+// over a channel follows the same rule: legal when the same function
+// closes the channel.
+//
+// A deliberately detached goroutine or audited blocking operation is
+// waived line-level with `//ubs:detached <justification>`; the
+// justification text is mandatory.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ubscache/internal/analysis/dataflow"
+	"ubscache/internal/analysis/lintutil"
+)
+
+// Analyzer is the goroutine/channel-discipline rule.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxleak",
+	Doc:      "goroutines must be joinable or cancellable, and blocking channel ops must have an escape hatch",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// scope lists the concurrent layers the distributed sweep fabric will
+// stretch across.
+var scope = []string{"internal/serve", "internal/runner", "internal/obs"}
+
+// shutdownName matches channel identifiers that conventionally carry a
+// shutdown or completion signal.
+var shutdownName = regexp.MustCompile(`(?i)^(done|stop|quit|drain|shutdown|closed?)$`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgPathHasSuffix(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	waiversByFile := map[*ast.File]*lintutil.Waivers{}
+	for _, f := range pass.Files {
+		waiversByFile[f] = lintutil.NewWaivers(pass.Fset, f)
+	}
+
+	c := &checker{pass: pass}
+
+	// Pass 1: index the comm operations that belong to a select (they
+	// are judged as part of the select, not as bare blocking ops) and
+	// every top-level function body (the scope for buffered/closed
+	// channel proofs).
+	selectComm := map[ast.Node]bool{}
+	ins.Preorder([]ast.Node{(*ast.SelectStmt)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectStmt)
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm != nil {
+				markComm(cc.Comm, selectComm)
+			}
+		}
+	})
+
+	nodeFilter := []ast.Node{
+		(*ast.GoStmt)(nil), (*ast.SelectStmt)(nil), (*ast.SendStmt)(nil),
+		(*ast.UnaryExpr)(nil), (*ast.RangeStmt)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || lintutil.InTestFile(pass, n.Pos()) {
+			return false
+		}
+		file, _ := stack[0].(*ast.File)
+		waivers := waiversByFile[file]
+		encl := lintutil.EnclosingFuncDecl(stack)
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.checkGo(n, waivers)
+		case *ast.SelectStmt:
+			c.checkSelect(n, waivers)
+		case *ast.SendStmt:
+			if !selectComm[n] {
+				c.checkBlockingSend(n, encl, waivers)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !selectComm[n] && !receiveInCommAssign(n, stack, selectComm) {
+				c.checkBlockingRecv(n, encl, waivers)
+			}
+		case *ast.RangeStmt:
+			c.checkRangeChan(n, encl, waivers)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// markComm records a CommClause's comm statement and, for assignment
+// forms (`case v := <-ch:`), the receive expression itself.
+func markComm(comm ast.Stmt, set map[ast.Node]bool) {
+	set[comm] = true
+	switch s := comm.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			set[ast.Unparen(r)] = true
+		}
+	case *ast.ExprStmt:
+		set[ast.Unparen(s.X)] = true
+	}
+}
+
+// receiveInCommAssign reports whether the receive sits directly inside
+// a select comm assignment already marked.
+func receiveInCommAssign(recv *ast.UnaryExpr, stack []ast.Node, selectComm map[ast.Node]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if selectComm[stack[i]] {
+			return true
+		}
+		switch stack[i].(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ParenExpr, *ast.UnaryExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// checkGo enforces rule 1 on one go statement.
+func (c *checker) checkGo(g *ast.GoStmt, waivers *lintutil.Waivers) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if c.bodyAccounted(lit.Body) {
+			return
+		}
+		c.report(g.Pos(), waivers,
+			"goroutine is neither joinable nor cancellable: tie it to a context, a WaitGroup, or a close()d join channel")
+		return
+	}
+	// Named call: a context argument (or receiver) makes it cancellable.
+	for _, a := range g.Call.Args {
+		if dataflow.IsContext(c.pass.TypesInfo.TypeOf(a)) {
+			return
+		}
+	}
+	if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		if c.exprAccounted(sel.X) {
+			return
+		}
+	}
+	c.report(g.Pos(), waivers,
+		"goroutine spawns a call with no context argument: it cannot be cancelled or joined after shutdown")
+}
+
+// bodyAccounted reports whether a goroutine body carries any of the
+// accountability signals of rule 1.
+func (c *checker) bodyAccounted(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if dataflow.IsContext(c.pass.TypesInfo.TypeOf(n)) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if dataflow.IsContext(c.pass.TypesInfo.TypeOf(n)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if fn, ok := typeutil.Callee(c.pass.TypesInfo, n).(*types.Func); ok {
+				if fn.Name() == "Done" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					found = true // (*sync.WaitGroup).Done
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprAccounted reports whether a method receiver itself is a signal
+// (e.g. `go wg.Done()` — unusual, but accountable).
+func (c *checker) exprAccounted(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	return dataflow.IsContext(t)
+}
+
+// checkSelect enforces rule 2's select form: at least one escape hatch.
+func (c *checker) checkSelect(sel *ast.SelectStmt, waivers *lintutil.Waivers) {
+	blocking := false
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			return // default clause: non-blocking
+		}
+		if c.commIsEscape(cc.Comm) {
+			return
+		}
+		blocking = true
+	}
+	if blocking {
+		c.report(sel.Pos(), waivers,
+			"select blocks with no escape hatch: add a <-ctx.Done() (or shutdown-channel / time.After / default) case")
+	}
+}
+
+// commIsEscape reports whether one select case is an escape hatch: a
+// receive from ctx.Done()-like sources, a shutdown-named channel, or a
+// bounded timer.
+func (c *checker) commIsEscape(comm ast.Stmt) bool {
+	var recv *ast.UnaryExpr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv, _ = ast.Unparen(s.X).(*ast.UnaryExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv, _ = ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+		}
+	}
+	if recv == nil || recv.Op != token.ARROW {
+		return false
+	}
+	return c.isEscapeChan(recv.X)
+}
+
+// isEscapeChan classifies the operand of a receive as an escape-hatch
+// channel.
+func (c *checker) isEscapeChan(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn, ok := typeutil.Callee(c.pass.TypesInfo, call).(*types.Func); ok {
+			// ctx.Done(), time.After, time.Tick.
+			if fn.Name() == "Done" {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+					dataflow.IsContext(c.pass.TypesInfo.TypeOf(sel.X)) {
+					return true
+				}
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				(fn.Name() == "After" || fn.Name() == "Tick") {
+				return true
+			}
+		}
+		return false
+	}
+	// Shutdown-named channel (x.done, stop, s.quit, ...) or a timer's C.
+	if p := dataflow.Path(e); p != "" {
+		parts := strings.Split(p, ".")
+		last := parts[len(parts)-1]
+		if shutdownName.MatchString(last) {
+			return true
+		}
+		if last == "C" && len(parts) >= 2 {
+			// time.Timer/Ticker channel field.
+			if sel, ok := e.(*ast.SelectorExpr); ok {
+				t := c.pass.TypesInfo.TypeOf(sel.X)
+				if dataflow.IsNamed(t, "time", "Timer") || dataflow.IsNamed(t, "time", "Ticker") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkBlockingSend enforces rule 2 on a bare channel send.
+func (c *checker) checkBlockingSend(send *ast.SendStmt, encl *ast.FuncDecl, waivers *lintutil.Waivers) {
+	if c.provablyBuffered(send.Chan, encl) {
+		return
+	}
+	c.report(send.Pos(), waivers,
+		"blocking send on a potentially-unbuffered channel outside a select: wrap it in a select with a <-ctx.Done()/shutdown case, or buffer the channel")
+}
+
+// checkBlockingRecv enforces rule 2 on a bare channel receive.
+func (c *checker) checkBlockingRecv(recv *ast.UnaryExpr, encl *ast.FuncDecl, waivers *lintutil.Waivers) {
+	if !dataflow.IsChan(c.pass.TypesInfo.TypeOf(recv.X)) {
+		return
+	}
+	if c.isEscapeChan(recv.X) {
+		return // waiting for cancellation IS the escape hatch
+	}
+	if c.provablyBuffered(recv.X, encl) || c.closedInFunc(recv.X, encl) {
+		return
+	}
+	c.report(recv.Pos(), waivers,
+		"blocking receive on a potentially-unbuffered channel outside a select: wrap it in a select with a <-ctx.Done()/shutdown case, or close the channel in this function as a join signal")
+}
+
+// checkRangeChan enforces rule 2 on range-over-channel loops.
+func (c *checker) checkRangeChan(rng *ast.RangeStmt, encl *ast.FuncDecl, waivers *lintutil.Waivers) {
+	if !dataflow.IsChan(c.pass.TypesInfo.TypeOf(rng.X)) {
+		return
+	}
+	if c.closedInFunc(rng.X, encl) {
+		return
+	}
+	c.report(rng.Pos(), waivers,
+		"range over a channel this function never close()s: the loop only ends when the sender closes it, which no shutdown path here can force")
+}
+
+// provablyBuffered reports whether ch resolves to a local channel made
+// with a non-zero constant capacity inside the enclosing top-level
+// function (including its nested literals).
+func (c *checker) provablyBuffered(ch ast.Expr, encl *ast.FuncDecl) bool {
+	obj := chanObject(c.pass.TypesInfo, ch)
+	if obj == nil || encl == nil {
+		return false
+	}
+	buffered := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if buffered {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok && c.pass.TypesInfo.ObjectOf(id) == obj {
+					if i < len(n.Rhs) && c.isBufferedMake(n.Rhs[i]) {
+						buffered = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if c.pass.TypesInfo.ObjectOf(name) == obj && i < len(n.Values) && c.isBufferedMake(n.Values[i]) {
+					buffered = true
+				}
+			}
+		}
+		return !buffered
+	})
+	return buffered
+}
+
+// isBufferedMake reports whether e is make(chan T, n) with constant n > 0.
+func (c *checker) isBufferedMake(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	n, ok := constant.Int64Val(tv.Value)
+	return ok && n > 0
+}
+
+// closedInFunc reports whether the enclosing top-level function (or a
+// literal inside it) close()s the same channel path — the join-signal
+// idiom: whoever closes it bounds the wait.
+func (c *checker) closedInFunc(ch ast.Expr, encl *ast.FuncDecl) bool {
+	if encl == nil {
+		return false
+	}
+	path := dataflow.Path(ch)
+	obj := chanObject(c.pass.TypesInfo, ch)
+	if path == "" && obj == nil {
+		return false
+	}
+	closed := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if closed {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "close" {
+			return true
+		}
+		if _, isBuiltin := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return true
+		}
+		arg := call.Args[0]
+		if obj != nil && chanObject(c.pass.TypesInfo, arg) == obj {
+			closed = true
+		} else if path != "" && dataflow.Path(arg) == path {
+			closed = true
+		}
+		return !closed
+	})
+	return closed
+}
+
+// chanObject resolves a channel expression to its variable object when
+// it is a plain identifier.
+func chanObject(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// report emits one diagnostic unless a justified //ubs:detached waiver
+// covers the line.
+func (c *checker) report(pos token.Pos, waivers *lintutil.Waivers, msg string) {
+	if waivers != nil {
+		waived, justified := waivers.WaivedJustified(pos, "detached")
+		if waived && justified {
+			return
+		}
+		if waived {
+			c.pass.Reportf(pos, "%s (the //ubs:detached waiver needs a justification)", msg)
+			return
+		}
+	}
+	c.pass.Reportf(pos, "%s (waive a deliberate case with //ubs:detached <justification>)", msg)
+}

@@ -1,0 +1,11 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestCtxLeak(t *testing.T) {
+	linttest.Run(t, "ctxleak", "testdata/mod")
+}

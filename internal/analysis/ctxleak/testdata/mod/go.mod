@@ -1,0 +1,3 @@
+module ctxleak.example
+
+go 1.22

@@ -1,0 +1,94 @@
+// Package runner exercises ctxleak's blocking-channel rule in the
+// sweep-scheduler role: sends and receives that can block forever must
+// carry an escape hatch.
+package runner
+
+import (
+	"context"
+	"time"
+)
+
+// bareSend blocks forever if nobody receives.
+func bareSend(ch chan int) {
+	ch <- 1 // want `blocking send on a potentially-unbuffered channel outside a select`
+}
+
+// bufferedSend is provably non-blocking: capacity 1, one send.
+func bufferedSend() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+}
+
+// bareRecv blocks forever if nobody sends.
+func bareRecv(ch chan int) int {
+	return <-ch // want `blocking receive on a potentially-unbuffered channel outside a select`
+}
+
+// ctxRecv waits for cancellation itself: the receive IS the escape
+// hatch.
+func ctxRecv(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// selectNoEscape has only blocking cases: a stuck peer wedges it.
+func selectNoEscape(a, b chan int) {
+	select { // want `select blocks with no escape hatch`
+	case <-a:
+	case b <- 1:
+	}
+}
+
+// selectCtx carries the canonical escape hatch.
+func selectCtx(ctx context.Context, a chan int) {
+	select {
+	case <-a:
+	case <-ctx.Done():
+	}
+}
+
+// selectTimeout bounds the wait with a timer.
+func selectTimeout(a chan int) {
+	select {
+	case <-a:
+	case <-time.After(time.Second):
+	}
+}
+
+// selectDefault never blocks at all.
+func selectDefault(a chan int) {
+	select {
+	case <-a:
+	default:
+	}
+}
+
+// rangeUnclosed drains a channel this function cannot terminate.
+func rangeUnclosed(ch chan int) (sum int) {
+	for v := range ch { // want `range over a channel this function never close\(\)s`
+		sum += v
+	}
+	return sum
+}
+
+// rangeClosed owns the channel lifecycle: the producer literal closes
+// it, so the drain loop is bounded.
+func rangeClosed(vals []int) (sum int) {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		for _, v := range vals {
+			ch <- v //ubs:detached producer send; the consumer below drains until close
+		}
+	}()
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+// waivedRecv is an audited join point.
+func waivedRecv(ch chan int) int {
+	//ubs:detached callers wrap this join in a context-aware select one frame up
+	return <-ch
+}

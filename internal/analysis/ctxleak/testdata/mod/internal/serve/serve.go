@@ -1,0 +1,73 @@
+// Package serve exercises ctxleak's goroutine-accountability rule in
+// the job-daemon role: every spawned goroutine must be joinable or
+// cancellable.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func worker()                       { work() }
+func workerCtx(ctx context.Context) { <-ctx.Done() }
+
+// detached spawns fire-and-forget work nothing can stop.
+func detached() {
+	go func() { // want `goroutine is neither joinable nor cancellable`
+		work()
+	}()
+}
+
+// namedNoCtx spawns a named call with no cancellation handle.
+func namedNoCtx() {
+	go worker() // want `goroutine spawns a call with no context argument`
+}
+
+// namedCtx hands the goroutine a context: cancellable.
+func namedCtx(ctx context.Context) {
+	go workerCtx(ctx)
+}
+
+// literalCtx references the context inside the body: cancellable.
+func literalCtx(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// wgJoin signals a WaitGroup: joinable.
+func wgJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// chanJoin closes a join channel the spawner waits on: joinable. The
+// receive is exempt twice over — the channel is shutdown-named and this
+// idiom is the join protocol.
+func chanJoin() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// waived is a deliberately detached goroutine with an audited reason.
+func waived() {
+	//ubs:detached process-lifetime metrics pump; exits with the process by design
+	go worker()
+}
+
+// bareWaiver lacks the mandatory justification.
+func bareWaiver() {
+	//ubs:detached
+	go worker() // want `the //ubs:detached waiver needs a justification`
+}

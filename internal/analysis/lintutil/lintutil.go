@@ -8,11 +8,18 @@
 //
 // Directives understood across the suite:
 //
-//	//ubs:hotpath       (func doc)  the body must not allocate; checked by hotpathalloc
-//	//ubs:allowalloc    (stmt/line) waive one hotpathalloc diagnostic (audited allocation)
-//	//ubs:wallclock     (func doc)  time.Now here feeds wall-clock metadata only
-//	//ubs:deterministic (stmt/line) waive one determinism diagnostic (order audited)
-//	//ubs:nonatomic     (stmt/line) waive one atomicfield diagnostic (init-time access)
+//	//ubs:hotpath        (func doc)   the body must not allocate; checked by hotpathalloc
+//	//ubs:allowalloc     (stmt/line)  waive one hotpathalloc diagnostic (audited allocation)
+//	//ubs:wallclock      (func doc)   time.Now here feeds wall-clock metadata only (determinism, core scope)
+//	//ubs:wallclock <why> (sink line) waive one wallclocktaint sink diagnostic; justification required
+//	//ubs:deterministic  (stmt/line)  waive one determinism diagnostic (order audited)
+//	//ubs:nonatomic      (stmt/line)  waive one atomicfield diagnostic (init-time access)
+//	//ubs:state          (type doc)   checkpointable state struct; checked by snapstate, a wallclocktaint sink
+//	//ubs:artifact       (type doc)   struct marshalled into a results artifact; a wallclocktaint sink
+//	//ubs:detached <why> (stmt/line)  waive one ctxleak diagnostic; justification required
+//	//ubs:guardedby(mu)  (field doc/line) field may only be accessed holding sibling mutex mu; checked by mutexguard
+//	//ubs:locked(mu)     (func doc)   callers hold the receiver's mutex mu on entry (mutexguard entry state)
+//	//ubs:unguarded <why> (stmt/line) waive one mutexguard diagnostic; justification required
 package lintutil
 
 import (
@@ -57,13 +64,47 @@ func HasDirective(doc *ast.CommentGroup, name string) bool {
 }
 
 func directiveMatches(text, name string) bool {
+	_, ok := directiveRest(text, name)
+	return ok
+}
+
+// directiveRest returns the text following `//ubs:name` (trimmed) and
+// whether the comment carries that directive at all.
+func directiveRest(text, name string) (string, bool) {
 	text = strings.TrimPrefix(text, "//")
 	text = strings.TrimSpace(text)
 	if !strings.HasPrefix(text, "ubs:"+name) {
-		return false
+		return "", false
 	}
 	rest := text[len("ubs:"+name):]
-	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+	if rest == "" {
+		return "", true
+	}
+	if rest[0] == ' ' || rest[0] == '\t' {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// DirectiveParam extracts the parenthesised parameter of a
+// `//ubs:name(param)` directive from the comment group: for
+// `//ubs:guardedby(mu)` it returns ("mu", true). Directives carrying
+// trailing prose after the closing parenthesis are accepted.
+func DirectiveParam(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "ubs:"+name+"(") {
+			continue
+		}
+		rest := text[len("ubs:"+name+"("):]
+		if i := strings.IndexByte(rest, ')'); i > 0 {
+			return strings.TrimSpace(rest[:i]), true
+		}
+	}
+	return "", false
 }
 
 // Waivers indexes a file's `//ubs:...` directive comments by line, so a
@@ -101,6 +142,26 @@ func (w *Waivers) Waived(pos token.Pos, name string) bool {
 		}
 	}
 	return false
+}
+
+// WaivedJustified reports whether a `//ubs:name` directive sits on
+// pos's line or the line above it, and whether it carries a non-empty
+// justification — the dataflow-tier waivers (//ubs:wallclock at sinks,
+// //ubs:detached, //ubs:unguarded) are only honoured when justified, so
+// every surviving exemption records why it is safe.
+func (w *Waivers) WaivedJustified(pos token.Pos, name string) (waived, justified bool) {
+	line := w.fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, text := range w.lines[l] {
+			if rest, ok := directiveRest(text, name); ok {
+				waived = true
+				if rest != "" {
+					return true, true
+				}
+			}
+		}
+	}
+	return waived, false
 }
 
 // ReceiverTypeName returns the bare type name of fn's receiver ("" for

@@ -1,0 +1,11 @@
+package mutexguard_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestMutexGuard(t *testing.T) {
+	linttest.Run(t, "mutexguard", "testdata/mod")
+}

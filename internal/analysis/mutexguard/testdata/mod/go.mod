@@ -1,0 +1,3 @@
+module mutexguard.example
+
+go 1.22

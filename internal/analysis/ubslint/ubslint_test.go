@@ -12,7 +12,10 @@ import (
 // TestSuite pins the analyzer roster so a dropped registration fails
 // loudly rather than silently weakening CI.
 func TestSuite(t *testing.T) {
-	want := []string{"atomicfield", "determinism", "hotpathalloc", "misspath", "snapstate", "statsexhaustive"}
+	want := []string{
+		"atomicfield", "ctxleak", "determinism", "hotpathalloc", "misspath",
+		"mutexguard", "snapstate", "statsexhaustive", "wallclocktaint",
+	}
 	got := ubslint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,3 @@
+module wallclocktaint.example
+
+go 1.22

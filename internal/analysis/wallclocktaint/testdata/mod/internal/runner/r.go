@@ -1,0 +1,76 @@
+// Package runner exercises the wallclocktaint flows of the sweep
+// orchestration role: wall-clock values are legal for progress output
+// but must not reach the //ubs:artifact results schema unwaived.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunMeta mirrors the store's cache metadata record.
+//
+//ubs:artifact
+type RunMeta struct {
+	Seconds float64
+	Disk    bool
+}
+
+// Results mirrors the results.json schema root.
+//
+//ubs:artifact
+type Results struct {
+	WallSeconds float64
+	Runs        []RunMeta
+}
+
+// progressOnly reads the clock but only feeds a progress line: flow-
+// sensitivity means no waiver is needed (the old determinism rule
+// demanded one here).
+func progressOnly(w io.Writer, done, total int) {
+	start := time.Now()
+	fmt.Fprintf(w, "[%d/%d] elapsed %s\n", done, total, time.Since(start))
+}
+
+// storeTainted lets the wall clock reach the artifact schema on every
+// path: composite literal, field store, and arithmetic laundering.
+func storeTainted(rf *Results) {
+	t0 := time.Now()
+	sec := time.Since(t0).Seconds()
+	meta := RunMeta{Seconds: sec}   // want `wall-clock/RNG-tainted value reaches a deterministic sink \(//ubs:artifact results schema\)`
+	rf.Runs = append(rf.Runs, meta) // want `wall-clock/RNG-tainted value reaches a deterministic sink \(//ubs:artifact results schema\)`
+	rf.WallSeconds = sec + 1        // want `wall-clock/RNG-tainted value reaches a deterministic sink \(//ubs:artifact results schema\)`
+}
+
+// branchLaundered taints on only one branch; the join keeps it tainted.
+func branchLaundered(rf *Results, cached bool) {
+	sec := 0.0
+	if !cached {
+		sec = time.Since(time.Now()).Seconds()
+	}
+	rf.WallSeconds = sec // want `wall-clock/RNG-tainted value reaches a deterministic sink \(//ubs:artifact results schema\)`
+}
+
+// waivedSink is the audited survivor: the justification makes the
+// exemption self-documenting.
+func waivedSink(rf *Results) {
+	t0 := time.Now()
+	//ubs:wallclock wall_seconds is scrubbed under omit_timings; audited sweep metadata
+	rf.WallSeconds = time.Since(t0).Seconds()
+}
+
+// bareWaiver lacks a justification, which the analyzer calls out.
+func bareWaiver(rf *Results) {
+	t0 := time.Now()
+	//ubs:wallclock
+	rf.WallSeconds = time.Since(t0).Seconds() // want `the //ubs:wallclock waiver needs a justification`
+}
+
+// untaintedStore shows strong updates: reassigning the local with a
+// clean value clears its taint before the sink.
+func untaintedStore(rf *Results) {
+	sec := time.Since(time.Now()).Seconds()
+	sec = 0
+	rf.WallSeconds = sec
+}

@@ -1,0 +1,55 @@
+// Package sim exercises the state-struct and codec sinks: wall-clock
+// or global-RNG values reaching the checkpoint image or the snap codec
+// break resume byte-identity.
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"wallclocktaint.example/internal/snap"
+	"wallclocktaint.example/internal/stats"
+)
+
+// MachineState mirrors the checkpoint image root.
+//
+//ubs:state
+type MachineState struct {
+	Cycles uint64
+	Seed   int64
+}
+
+// pollute writes host time into the checkpoint image.
+func pollute(st *MachineState) {
+	now := time.Now()
+	st.Cycles = uint64(now.UnixNano()) // want `wall-clock/RNG-tainted value reaches a deterministic sink \(//ubs:state checkpoint image\)`
+}
+
+// globalRNG draws from the unseeded global source and stores it.
+func globalRNG(st *MachineState) {
+	seed := rand.Int63()
+	st.Seed = seed // want `wall-clock/RNG-tainted value reaches a deterministic sink \(//ubs:state checkpoint image\)`
+}
+
+// seededRNG uses an explicit generator: clean.
+func seededRNG(st *MachineState) {
+	r := rand.New(rand.NewSource(42))
+	st.Seed = r.Int63()
+}
+
+// codecInput hands a tainted value to the deterministic codec.
+func codecInput() []byte {
+	t0 := time.Now()
+	return snap.Encode(t0.UnixNano()) // want `wall-clock/RNG-tainted value reaches a deterministic sink \(snap codec input\)`
+}
+
+// statsSink stores a tainted value into a published counter.
+func statsSink(st *stats.Stats) {
+	st.Seconds = time.Since(time.Now()).Seconds() // want `wall-clock/RNG-tainted value reaches a deterministic sink \(internal/stats published counters\)`
+}
+
+// cycleCounter is the legal pattern: simulation time from the cycle
+// counter, not the host clock.
+func cycleCounter(st *MachineState, cycles uint64) {
+	st.Cycles = cycles
+}

@@ -1,0 +1,7 @@
+// Package snap reproduces the internal/snap role: a deterministic
+// codec whose inputs must replay byte-identically, so any tainted
+// argument is a sink.
+package snap
+
+// Encode is a stand-in for the deterministic codec entry point.
+func Encode(vals ...interface{}) []byte { return nil }

@@ -1,0 +1,590 @@
+// Package wallclocktaint tracks host-nondeterminism — wall-clock reads
+// and global-RNG draws — from its sources to the places where it would
+// corrupt the reproduction's determinism contract: identical (trace,
+// design, params) must produce byte-identical results on any host.
+//
+// Where the syntactic determinism analyzer flags every time.Now call
+// and demands a per-function waiver, this pass is flow-sensitive: a
+// time.Now whose value only feeds a progress line or a latency
+// histogram is legal without ceremony, and a diagnostic fires only when
+// a tainted value actually reaches a deterministic sink:
+//
+//   - a store into a field of a `//ubs:state` struct (the checkpoint
+//     image — nondeterminism there breaks resume byte-identity);
+//   - a store into a field of a `//ubs:artifact` struct (the
+//     results.json schema — nondeterminism there breaks sweep
+//     byte-identity), or a composite literal of either struct kind
+//     carrying a tainted element;
+//   - a store into an internal/stats Stats field (published numbers);
+//   - a tainted argument to the internal/snap or internal/checkpoint
+//     codecs (bytes that must replay identically);
+//   - a tainted argument to a JSON/CSV encoder (artifact bytes).
+//
+// Taint propagates function-locally through assignments, arithmetic,
+// conversions, composite literals, method calls on tainted receivers,
+// fmt.Sprint*, and append. The analysis is a forward may-analysis over
+// the ctrlflow CFG (union at joins), so a value laundered through a
+// branch stays tainted on the joined path.
+//
+// A genuine sink — results.json's wall_seconds field, the store's
+// RunMeta.Seconds cache metadata — is waived at the sink line with
+// `//ubs:wallclock <justification>`; the justification text is
+// mandatory, converting the old blanket per-call waivers into an
+// audited, self-documenting exemption list.
+package wallclocktaint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ubscache/internal/analysis/dataflow"
+	"ubscache/internal/analysis/lintutil"
+)
+
+// Analyzer is the wall-clock taint rule.
+var Analyzer = &analysis.Analyzer{
+	Name:     "wallclocktaint",
+	Doc:      "wall-clock/global-RNG values must not flow into simulator state, stats, checkpoints, or results artifacts",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+// scope mirrors the determinism analyzer: every package whose output
+// becomes (or keys) published numbers.
+var scope = []string{
+	"internal/sim", "internal/exp", "internal/runner", "internal/obs",
+	"internal/serve", "internal/workloadspec", "internal/trace",
+	"internal/checkpoint", "internal/snap",
+}
+
+// codecRoles are the package roles whose exported functions consume
+// bytes that must replay identically; any tainted argument is a sink.
+var codecRoles = []string{"internal/snap", "internal/checkpoint"}
+
+// taint is the abstract state: whole locals tainted by identifier
+// assignment (objs), plus individually tainted selector paths from
+// stores through fields ("rf.WallSeconds"). Tracking field stores by
+// path rather than smearing the whole base object keeps one waived
+// tainted field (results.json wall_seconds) from contaminating every
+// later store into a sibling field of the same struct.
+type taint struct {
+	objs  map[types.Object]bool
+	paths map[string]bool
+}
+
+func newTaint() taint {
+	return taint{objs: map[types.Object]bool{}, paths: map[string]bool{}}
+}
+
+func cloneTaint(s taint) taint {
+	out := taint{
+		objs:  make(map[types.Object]bool, len(s.objs)),
+		paths: make(map[string]bool, len(s.paths)),
+	}
+	for k := range s.objs {
+		out.objs[k] = true
+	}
+	for k := range s.paths {
+		out.paths[k] = true
+	}
+	return out
+}
+
+// joinTaint unions src into dst (may-analysis).
+func joinTaint(dst, src taint) bool {
+	changed := false
+	for k := range src.objs {
+		if !dst.objs[k] {
+			dst.objs[k] = true
+			changed = true
+		}
+	}
+	for k := range src.paths {
+		if !dst.paths[k] {
+			dst.paths[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// pathTainted reports whether the storage named by path p is tainted:
+// exactly, as a container of a tainted sub-path (reading x when x.f is
+// tainted), or as a sub-path of a tainted prefix (reading x.f.g when
+// x.f is tainted).
+func (s taint) pathTainted(p string) bool {
+	if s.paths[p] {
+		return true
+	}
+	for k := range s.paths {
+		if strings.HasPrefix(k, p+".") || strings.HasPrefix(p, k+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// clearPath is the strong update for a clean store through path p.
+func (s taint) clearPath(p string) {
+	delete(s.paths, p)
+	for k := range s.paths {
+		if strings.HasPrefix(k, p+".") {
+			delete(s.paths, k)
+		}
+	}
+}
+
+// sinkKind classifies why a struct's fields are deterministic sinks.
+type sinkKind string
+
+const (
+	sinkState    sinkKind = "//ubs:state checkpoint image"
+	sinkArtifact sinkKind = "//ubs:artifact results schema"
+	sinkStats    sinkKind = "internal/stats published counters"
+)
+
+type sinks struct {
+	fields  map[*types.Var]sinkKind   // field -> why it is a sink
+	structs map[*types.Named]sinkKind // marked struct types (composite literals)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgPathHasSuffix(pass.Pkg.Path(), scope...) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	sk := collectSinks(pass)
+	waiversByFile := map[*ast.File]*lintutil.Waivers{}
+	for _, f := range pass.Files {
+		waiversByFile[f] = lintutil.NewWaivers(pass.Fset, f)
+	}
+
+	for _, fn := range dataflow.Funcs(pass, ins, cfgs) {
+		if lintutil.InTestFile(pass, fn.Body.Pos()) {
+			continue
+		}
+		analyzeFunc(pass, fn, sk, waiversByFile[fn.File])
+	}
+	return nil, nil
+}
+
+// collectSinks indexes this package's //ubs:state and //ubs:artifact
+// struct declarations by field object and by named type.
+func collectSinks(pass *analysis.Pass) *sinks {
+	sk := &sinks{fields: map[*types.Var]sinkKind{}, structs: map[*types.Named]sinkKind{}}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				var kind sinkKind
+				switch {
+				case lintutil.HasDirective(ts.Doc, "state") || (len(gd.Specs) == 1 && lintutil.HasDirective(gd.Doc, "state")):
+					kind = sinkState
+				case lintutil.HasDirective(ts.Doc, "artifact") || (len(gd.Specs) == 1 && lintutil.HasDirective(gd.Doc, "artifact")):
+					kind = sinkArtifact
+				default:
+					continue
+				}
+				if named, ok := pass.TypesInfo.Defs[ts.Name].Type().(*types.Named); ok {
+					sk.structs[named] = kind
+				}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							sk.fields[v] = kind
+						}
+					}
+				}
+			}
+		}
+	}
+	return sk
+}
+
+// fieldSink classifies v as a sink field, covering both this package's
+// marked structs and internal/stats fields from any package.
+func (sk *sinks) fieldSink(v *types.Var) (sinkKind, bool) {
+	if v == nil {
+		return "", false
+	}
+	if k, ok := sk.fields[v]; ok {
+		return k, true
+	}
+	if v.Pkg() != nil && lintutil.PkgPathHasSuffix(v.Pkg().Path(), "internal/stats") {
+		return sinkStats, true
+	}
+	return "", false
+}
+
+// structSink classifies t (or *t) as a sink struct type.
+func (sk *sinks) structSink(t types.Type) (sinkKind, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if k, ok := sk.structs[named]; ok {
+		return k, true
+	}
+	if obj := named.Obj(); obj != nil && obj.Pkg() != nil &&
+		lintutil.PkgPathHasSuffix(obj.Pkg().Path(), "internal/stats") {
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			return sinkStats, true
+		}
+	}
+	return "", false
+}
+
+func analyzeFunc(pass *analysis.Pass, fn dataflow.Func, sk *sinks, waivers *lintutil.Waivers) {
+	tr := &tracker{pass: pass, sk: sk, waivers: waivers}
+	in, reached := dataflow.Forward(fn.CFG, newTaint(), cloneTaint, joinTaint, tr.transfer)
+	// Report pass: replay each reached block from its fixed in-state,
+	// checking sinks at every node before applying its transfer.
+	for i, b := range fn.CFG.Blocks {
+		if !reached[i] {
+			continue
+		}
+		s := cloneTaint(in[i])
+		for _, node := range b.Nodes {
+			tr.checkSinks(node, s)
+			tr.transfer(node, s)
+		}
+	}
+}
+
+type tracker struct {
+	pass    *analysis.Pass
+	sk      *sinks
+	waivers *lintutil.Waivers
+}
+
+// transfer applies one CFG node's effect to the taint state.
+func (t *tracker) transfer(n ast.Node, s taint) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(n.Lhs, n.Rhs, s)
+	case *ast.ValueSpec:
+		if len(n.Values) > 0 {
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, name := range n.Names {
+				lhs[i] = name
+			}
+			t.assign(lhs, n.Values, s)
+		}
+	}
+}
+
+// assign models lhs... = rhs... including the 1:N tuple form.
+func (t *tracker) assign(lhs, rhs []ast.Expr, s taint) {
+	taints := make([]bool, len(lhs))
+	if len(lhs) == len(rhs) {
+		for i := range rhs {
+			taints[i] = t.tainted(rhs[i], s)
+		}
+	} else if len(rhs) == 1 {
+		v := t.tainted(rhs[0], s)
+		for i := range taints {
+			taints[i] = v
+		}
+	}
+	for i, l := range lhs {
+		switch l := l.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			if obj := t.pass.TypesInfo.ObjectOf(l); obj != nil {
+				if taints[i] {
+					s.objs[obj] = true
+				} else {
+					delete(s.objs, obj) // strong update
+					s.clearPath(l.Name)
+				}
+			}
+		default:
+			// A store through x.f taints (or, when clean, untaints) that
+			// path only; stores the path grammar cannot render (x[i].f,
+			// (*p).f through an expression) smear the base object.
+			if path := dataflow.Path(l); path != "" {
+				if taints[i] {
+					s.paths[path] = true
+				} else {
+					s.clearPath(path)
+				}
+				continue
+			}
+			if taints[i] {
+				if base := baseIdent(l); base != nil {
+					if obj := t.pass.TypesInfo.ObjectOf(base); obj != nil {
+						s.objs[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// baseIdent peels selectors/indices/stars down to the root identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// tainted evaluates an expression's taint under state s.
+func (t *tracker) tainted(e ast.Expr, s taint) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := t.pass.TypesInfo.ObjectOf(e); obj != nil && s.objs[obj] {
+			return true
+		}
+		// A whole-value use of x is tainted if any x.f path is.
+		return s.pathTainted(e.Name)
+	case *ast.SelectorExpr:
+		// Package-qualified references are never tainted.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := t.pass.TypesInfo.ObjectOf(id).(*types.PkgName); isPkg {
+				return false
+			}
+		}
+		// A rendered path decides on its own taint plus whole-object
+		// taint of the root; an unrenderable base falls back to the
+		// base expression's taint.
+		if path := dataflow.Path(e); path != "" {
+			if s.pathTainted(path) {
+				return true
+			}
+			base := baseIdent(e)
+			if base == nil {
+				return false
+			}
+			obj := t.pass.TypesInfo.ObjectOf(base)
+			return obj != nil && s.objs[obj]
+		}
+		return t.tainted(e.X, s)
+	case *ast.CallExpr:
+		return t.callTainted(e, s)
+	case *ast.BinaryExpr:
+		return t.tainted(e.X, s) || t.tainted(e.Y, s)
+	case *ast.UnaryExpr:
+		return t.tainted(e.X, s)
+	case *ast.ParenExpr:
+		return t.tainted(e.X, s)
+	case *ast.StarExpr:
+		return t.tainted(e.X, s)
+	case *ast.IndexExpr:
+		return t.tainted(e.X, s)
+	case *ast.SliceExpr:
+		return t.tainted(e.X, s)
+	case *ast.TypeAssertExpr:
+		return t.tainted(e.X, s)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if t.tainted(v, s) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// callTainted reports whether a call's result is tainted: direct
+// sources (time.Now/Since/Until, global math/rand draws), propagation
+// through methods on tainted receivers, fmt.Sprint* of tainted values,
+// conversions, and append.
+func (t *tracker) callTainted(call *ast.CallExpr, s taint) bool {
+	info := t.pass.TypesInfo
+	// Conversion: T(x) carries x's taint.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && t.tainted(call.Args[0], s)
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			for _, a := range call.Args {
+				if t.tainted(a, s) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	fn, _ := typeutil.Callee(info, call).(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if pkg := fn.Pkg(); pkg != nil && (sig == nil || sig.Recv() == nil) {
+		switch pkg.Path() {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				return true
+			}
+		case "math/rand", "math/rand/v2":
+			// Global-source draws (rand.Int, rand.Float64, ...); explicit
+			// constructors build seeded generators and are clean.
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+				return false
+			}
+			return true
+		case "fmt":
+			if len(fn.Name()) >= 6 && fn.Name()[:6] == "Sprint" {
+				for _, a := range call.Args {
+					if t.tainted(a, s) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	// A method on a tainted receiver yields a tainted result
+	// (t0.Sub(u), d.Seconds(), ...).
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return t.tainted(sel.X, s)
+		}
+	}
+	return false
+}
+
+// checkSinks reports every tainted value reaching a sink within node,
+// evaluated against the taint state as of node entry.
+func (t *tracker) checkSinks(node ast.Node, s taint) {
+	if assign, ok := node.(*ast.AssignStmt); ok {
+		t.checkAssignSinks(assign, s)
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate CFG, analyzed on its own
+		case *ast.CompositeLit:
+			// One report per literal, anchored at the literal so a single
+			// waiver line covers the whole construction.
+			if kind, ok := t.sk.structSink(t.pass.TypesInfo.TypeOf(n)); ok {
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if t.tainted(v, s) {
+						t.report(n.Pos(), kind)
+						break
+					}
+				}
+			}
+		case *ast.CallExpr:
+			t.checkCallSinks(n, s)
+		}
+		return true
+	})
+}
+
+// checkAssignSinks flags tainted stores into sink struct fields.
+func (t *tracker) checkAssignSinks(assign *ast.AssignStmt, s taint) {
+	for i, l := range assign.Lhs {
+		sel, ok := ast.Unparen(l).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		kind, ok := t.sk.fieldSink(dataflow.FieldOf(t.pass.TypesInfo, sel))
+		if !ok {
+			continue
+		}
+		var rhs ast.Expr
+		if len(assign.Lhs) == len(assign.Rhs) {
+			rhs = assign.Rhs[i]
+		} else if len(assign.Rhs) == 1 {
+			rhs = assign.Rhs[0]
+		}
+		if rhs != nil && t.tainted(rhs, s) {
+			t.report(assign.Pos(), kind)
+		}
+	}
+}
+
+// checkCallSinks flags tainted arguments flowing into codecs/encoders.
+func (t *tracker) checkCallSinks(call *ast.CallExpr, s taint) {
+	fn, _ := typeutil.Callee(t.pass.TypesInfo, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var kind sinkKind
+	switch {
+	case lintutil.PkgPathHasSuffix(fn.Pkg().Path(), codecRoles...):
+		kind = sinkKind(fn.Pkg().Name() + " codec input")
+	case fn.Pkg().Path() == "encoding/json" && (fn.Name() == "Marshal" || fn.Name() == "MarshalIndent" || fn.Name() == "Encode"):
+		kind = "JSON artifact bytes"
+	case fn.Pkg().Path() == "encoding/csv" && (fn.Name() == "Write" || fn.Name() == "WriteAll"):
+		kind = "CSV artifact bytes"
+	default:
+		return
+	}
+	for _, a := range call.Args {
+		if t.tainted(a, s) {
+			t.report(a.Pos(), kind)
+		}
+	}
+}
+
+// report emits one sink diagnostic unless a justified //ubs:wallclock
+// waiver covers the line; a bare waiver (no justification) is itself
+// called out, so every surviving exemption documents why it is safe.
+func (t *tracker) report(pos token.Pos, kind sinkKind) {
+	if t.waivers != nil {
+		waived, justified := t.waivers.WaivedJustified(pos, "wallclock")
+		if waived && justified {
+			return
+		}
+		if waived {
+			t.pass.Reportf(pos, "wall-clock/RNG-tainted value reaches a deterministic sink (%s); the //ubs:wallclock waiver needs a justification", kind)
+			return
+		}
+	}
+	t.pass.Reportf(pos, "wall-clock/RNG-tainted value reaches a deterministic sink (%s); results must be a pure function of (trace, design, params) — scrub the value or waive the audited sink with //ubs:wallclock <justification>", kind)
+}

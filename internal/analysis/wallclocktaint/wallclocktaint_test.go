@@ -1,0 +1,11 @@
+package wallclocktaint_test
+
+import (
+	"testing"
+
+	"ubscache/internal/analysis/linttest"
+)
+
+func TestWallclockTaint(t *testing.T) {
+	linttest.Run(t, "wallclocktaint", "testdata/mod")
+}

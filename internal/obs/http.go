@@ -22,14 +22,22 @@ type Server struct {
 	// Namespace prefixes Prometheus metric names (default "ubsim").
 	Namespace string
 
-	mu     sync.Mutex
-	info   RunInfo
-	reg    *Registry
-	last   Heartbeat
-	hasHB  bool
-	snap   Snapshot
-	done   bool
-	err    error
+	mu sync.Mutex
+	//ubs:guardedby(mu)
+	info RunInfo
+	//ubs:guardedby(mu)
+	reg *Registry
+	//ubs:guardedby(mu)
+	last Heartbeat
+	//ubs:guardedby(mu)
+	hasHB bool
+	//ubs:guardedby(mu)
+	snap Snapshot
+	//ubs:guardedby(mu)
+	done bool
+	//ubs:guardedby(mu)
+	err error
+	//ubs:guardedby(mu)
 	health *Health
 }
 
@@ -155,6 +163,14 @@ func (s *Server) Start(addr string) (bound net.Addr, stop func(), err error) {
 		return nil, nil, err
 	}
 	srv := &http.Server{Handler: s.Handler()}
-	go srv.Serve(ln)
-	return ln.Addr(), func() { srv.Close() }, nil
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		srv.Serve(ln)
+	}()
+	stop = func() {
+		srv.Close()
+		<-served // join: Serve has returned, no handler goroutine outlives stop
+	}
+	return ln.Addr(), stop, nil
 }

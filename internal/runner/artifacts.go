@@ -14,6 +14,8 @@ import (
 
 // RunRecord is one simulation's machine-readable summary — an entry of
 // the results.json "runs" array (schema in DESIGN.md §4.1).
+//
+//ubs:artifact
 type RunRecord struct {
 	Key          string   `json:"key"`
 	Workload     string   `json:"workload"`
@@ -35,6 +37,8 @@ type RunRecord struct {
 }
 
 // ExperimentRecord summarises one experiment in results.json.
+//
+//ubs:artifact
 type ExperimentRecord struct {
 	ID    string `json:"id"`
 	Title string `json:"title"`
@@ -53,6 +57,8 @@ type ExperimentRecord struct {
 }
 
 // ResultsFile is the results.json schema.
+//
+//ubs:artifact
 type ResultsFile struct {
 	Schema  int  `json:"schema"`
 	Spec    Spec `json:"spec"`

@@ -35,7 +35,11 @@ type Sweep struct {
 	ResultsPath string
 }
 
-// ExperimentOutcome is one rendered experiment.
+// ExperimentOutcome is one rendered experiment. It is returned to
+// callers that publish it (the daemon's job results embed it), so
+// wallclocktaint treats its fields as sinks.
+//
+//ubs:artifact
 type ExperimentOutcome struct {
 	Experiment exp.Experiment
 	Output     string
@@ -68,7 +72,6 @@ func (sw *Sweep) Run() (*Outcome, error) {
 // ResultsPath (marked "interrupted") so partial progress survives; the
 // returned Outcome carries those runs alongside ctx's error.
 func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
-	//ubs:wallclock sweep duration metadata in results.json
 	start := time.Now()
 	store := sw.Store
 	if store == nil {
@@ -148,7 +151,6 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 	out := &Outcome{}
 	rf := ResultsFile{Schema: 1, Spec: sw.Spec, Workers: workers}
 	for _, pl := range plans {
-		//ubs:wallclock render duration metadata in results.json
 		t0 := time.Now()
 		text, err := pl.e.Run(r)
 		if err != nil {
@@ -159,9 +161,11 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 		for _, key := range pl.keys {
 			simSec += store.Meta(key).Seconds
 		}
+		//ubs:wallclock attributed-cost metadata (sim+render seconds); scrubbed under OmitTimings
 		out.Experiments = append(out.Experiments, ExperimentOutcome{
 			Experiment: pl.e, Output: text, Seconds: simSec + render,
 		})
+		//ubs:wallclock per-experiment timing metadata in results.json; scrubbed under OmitTimings
 		rf.Experiments = append(rf.Experiments, ExperimentRecord{
 			ID: pl.e.ID, Title: pl.e.Title, Paper: pl.e.Paper,
 			SimSeconds: simSec, RenderSeconds: render, Runs: pl.keys,
@@ -181,6 +185,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*Outcome, error) {
 		byKey[key] = rec
 		rf.Runs = append(rf.Runs, rec)
 	}
+	//ubs:wallclock whole-sweep duration metadata in results.json; scrubbed under OmitTimings
 	rf.WallSeconds = time.Since(start).Seconds()
 	if sw.Spec.OmitTimings {
 		scrubTimings(&rf)
@@ -231,6 +236,7 @@ func (sw *Sweep) flushPartial(ctx context.Context, store *Store, order []string,
 		}
 		rf.Runs = append(rf.Runs, record(key, points[key].Params, res, store.Meta(key), usedBy[key], workloadFamily(points[key].Workload)))
 	}
+	//ubs:wallclock interrupted-sweep duration metadata; scrubbed under OmitTimings
 	rf.WallSeconds = time.Since(start).Seconds()
 	if sw.Spec.OmitTimings {
 		scrubTimings(&rf)

@@ -47,11 +47,10 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) error {
 		workers = len(tasks)
 	}
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		done int
-		errs = make([]error, len(tasks))
-		//ubs:wallclock progress-line elapsed time only
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		done  int
+		errs  = make([]error, len(tasks))
 		start = time.Now()
 		ch    = make(chan int)
 	)
@@ -60,7 +59,6 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) error {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				//ubs:wallclock per-task seconds shown in progress line
 				t0 := time.Now()
 				errs[i] = runTask(tasks[i])
 				mu.Lock()

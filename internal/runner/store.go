@@ -50,7 +50,10 @@ func WorkloadKey(p sim.Params, w workloadspec.Workload, design string) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// RunMeta records how a result was obtained.
+// RunMeta records how a result was obtained. It is persisted alongside
+// cached results, so wallclocktaint treats its fields as sinks.
+//
+//ubs:artifact
 type RunMeta struct {
 	// Seconds is the simulation's wall-clock time (the original run's time
 	// for disk-cache hits).
@@ -91,9 +94,12 @@ type Store struct {
 	// for every workload kind, including source-backed ones.
 	SimWorkload func(ctx context.Context, p sim.Params, w workloadspec.Workload, design string, factory sim.FrontendFactory) (sim.Result, error)
 
-	mu       sync.Mutex
-	results  map[string]sim.Result
-	meta     map[string]RunMeta
+	mu sync.Mutex
+	//ubs:guardedby(mu)
+	results map[string]sim.Result
+	//ubs:guardedby(mu)
+	meta map[string]RunMeta
+	//ubs:guardedby(mu)
 	inflight map[string]*flight
 }
 
@@ -187,12 +193,12 @@ func (s *Store) compute(ctx context.Context, key string, p sim.Params, w workloa
 	if res, sec, ok := s.loadDisk(key); ok {
 		return res, RunMeta{Seconds: sec, Disk: true}, nil
 	}
-	//ubs:wallclock RunMeta.Seconds cache metadata, not a simulated quantity
 	t0 := time.Now()
 	res, err := s.simulate(ctx, key, p, w, design, factory)
 	if err != nil {
 		return sim.Result{}, RunMeta{}, err
 	}
+	//ubs:wallclock RunMeta.Seconds is cache metadata, never a simulated quantity; scrubbed from comparisons
 	meta := RunMeta{Seconds: time.Since(t0).Seconds()}
 	s.saveDisk(key, res, meta.Seconds)
 	return res, meta, nil

@@ -21,9 +21,10 @@
 //     only after the caller's deadline.
 //
 // The package sits inside the determinism lint scope: simulation results
-// remain pure functions of (spec, workload, design), and every wall-clock
-// read here is audited metadata (//ubs:wallclock) — job timestamps,
-// latency histograms, retry hints — that never feeds a simulated number.
+// remain pure functions of (spec, workload, design). Wall-clock reads
+// here — job timestamps, latency histograms, retry hints — are service
+// metadata; the flow-sensitive wallclocktaint analyzer verifies they
+// never reach a results artifact, checkpoint image, or stats counter.
 package serve
 
 import (

@@ -29,19 +29,29 @@ type Job struct {
 	cancel context.CancelFunc
 	log    *eventLog
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//ubs:guardedby(mu)
 	state JobState
 	// runCancel aborts the current execution attempt only (suspension);
 	// cancel above is the job's lifetime and is terminal.
-	runCancel   context.CancelFunc
-	err         error
-	result      *sim.Result
-	resultJSON  []byte
-	beats       int
-	fromCache   bool
+	//ubs:guardedby(mu)
+	runCancel context.CancelFunc
+	//ubs:guardedby(mu)
+	err error
+	//ubs:guardedby(mu)
+	result *sim.Result
+	//ubs:guardedby(mu)
+	resultJSON []byte
+	//ubs:guardedby(mu)
+	beats int
+	//ubs:guardedby(mu)
+	fromCache bool
+	//ubs:guardedby(mu)
 	submittedAt time.Time
-	startedAt   time.Time
-	finishedAt  time.Time
+	//ubs:guardedby(mu)
+	startedAt time.Time
+	//ubs:guardedby(mu)
+	finishedAt time.Time
 }
 
 // ID returns the job id.
@@ -111,8 +121,6 @@ func (j *Job) emitStatus() {
 // false return means the job was cancelled while queued and must not
 // run. startedAt records the first attempt only, so suspend/resume
 // round-trips do not rewrite the job's history.
-//
-//ubs:wallclock job start timestamp, API metadata only
 func (j *Job) beginAttempt() (context.Context, bool) {
 	j.mu.Lock()
 	if j.state != JobQueued {
@@ -186,8 +194,6 @@ func (j *Job) beatCount() int {
 // finish moves the job to a terminal state, emits the closing "status"
 // and "end" events, and closes the event log. It is idempotent: only the
 // first terminal transition wins.
-//
-//ubs:wallclock job completion timestamp, API metadata only
 func (j *Job) finish(state JobState, res *sim.Result, fromCache bool, err error) bool {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -251,10 +257,13 @@ func syntheticFinal(j *Job, res *sim.Result) obs.Heartbeat {
 
 // jobRegistry indexes jobs by id in submission order.
 type jobRegistry struct {
-	mu    sync.Mutex
-	jobs  map[string]*Job
+	mu sync.Mutex
+	//ubs:guardedby(mu)
+	jobs map[string]*Job
+	//ubs:guardedby(mu)
 	order []string
-	next  int
+	//ubs:guardedby(mu)
+	next int
 }
 
 func newJobRegistry() *jobRegistry {

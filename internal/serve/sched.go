@@ -23,11 +23,14 @@ type sched struct {
 	bounds     map[Priority]int
 	retryAfter time.Duration
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   map[Priority][]*Job
+	mu   sync.Mutex
+	cond *sync.Cond
+	//ubs:guardedby(mu)
+	queues map[Priority][]*Job
+	//ubs:guardedby(mu)
 	reserved map[Priority]int
 	// running tracks in-flight jobs so preemption can pick a victim.
+	//ubs:guardedby(mu)
 	running map[*Job]bool
 	// parked holds suspended jobs; they bypass admission on resume —
 	// their slot was granted at submission. Scheduler-preempted entries
@@ -35,8 +38,11 @@ type sched struct {
 	// API-suspended entries (sticky=true) wait for an explicit resume,
 	// except during a drain, which completes them rather than stranding
 	// them.
-	parked   []parkedJob
+	//ubs:guardedby(mu)
+	parked []parkedJob
+	//ubs:guardedby(mu)
 	inflight int
+	//ubs:guardedby(mu)
 	draining bool
 	wg       sync.WaitGroup
 }
@@ -233,6 +239,8 @@ func (s *sched) next() *Job {
 // scheduler-preempted entry, or — during a drain — API-suspended ones
 // too, so a graceful drain completes parked work instead of stranding
 // it. Caller holds s.mu.
+//
+//ubs:locked(mu)
 func (s *sched) takeParkedLocked() *Job {
 	for i, pj := range s.parked {
 		if !pj.sticky || s.draining {
@@ -254,6 +262,10 @@ func (s *sched) drain() {
 // wait blocks until every worker has exited.
 func (s *sched) wait() { s.wg.Wait() }
 
+// updateGaugesLocked refreshes the queue-depth gauges. Caller holds
+// s.mu.
+//
+//ubs:locked(mu)
 func (s *sched) updateGaugesLocked() {
 	s.metrics.queue[Interactive].Set(float64(len(s.queues[Interactive])))
 	s.metrics.queue[Batch].Set(float64(len(s.queues[Batch])))
@@ -291,8 +303,6 @@ type outcome struct {
 // finishing it: errors are never memoized, so the next attempt re-runs
 // the point — and resumes from its checkpoint when the store has
 // checkpointing enabled.
-//
-//ubs:wallclock per-design job latency histograms, service metadata only
 func (s *sched) run(j *Job) {
 	runCtx, ok := j.beginAttempt()
 	if !ok {

@@ -105,8 +105,6 @@ func (s *Server) Health() *obs.Health { return s.health }
 // Submit validates, admits, and enqueues one job. Admission fails with
 // *SaturatedError when the class queue is at its bound and ErrDraining
 // once a drain has begun.
-//
-//ubs:wallclock job submission timestamp, API metadata only
 func (s *Server) Submit(req SubmitRequest) (*Job, error) {
 	rv, err := req.resolve(s.cfg.Params)
 	if err != nil {

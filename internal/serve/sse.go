@@ -19,9 +19,11 @@ type Event struct {
 // of the job, no matter how late it attaches, and unblocks when the log
 // closes (the job reached a terminal state).
 type eventLog struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	//ubs:guardedby(mu)
 	events []Event
+	//ubs:guardedby(mu)
 	closed bool
 }
 
